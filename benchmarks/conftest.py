@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``test_bench_*.py`` file regenerates one experiment from
+EXPERIMENTS.md (the measurable form of one of the paper's claims) and
+asserts its qualitative shape, while pytest-benchmark times the
+representative core operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_congestion_approximator
+from repro.graphs.generators import grid, random_connected
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    """The standard benchmark instance: 48-node connected random graph."""
+    return random_connected(48, 0.1, rng=901)
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    return grid(8, 8, rng=902)
+
+
+@pytest.fixture(scope="session")
+def bench_approximator(bench_graph):
+    return build_congestion_approximator(bench_graph, rng=903)

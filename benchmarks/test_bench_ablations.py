@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* accelerated (footnote 3) vs plain gradient descent;
+* approximator construction method (hierarchy / MWU / naive), graded
+  against exact all-pairs min cuts from a Gomory–Hu tree;
+* sparsified vs unsparsified cores in the hierarchy.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core import build_congestion_approximator
+from repro.core.accelerated import accelerated_almost_route
+from repro.core.almost_route import almost_route
+from repro.flow import gomory_hu_tree
+from repro.graphs.generators import complete, random_connected
+from repro.jtree import HierarchyParams, sample_virtual_tree
+from repro.util.validation import st_demand
+
+
+def test_ablation_accelerated_descent(benchmark):
+    """Footnote 3: momentum should cut iterations at tight epsilon."""
+    g = random_connected(26, 0.15, rng=1001)
+    approx = build_congestion_approximator(g, rng=1002)
+    demand = st_demand(g, 0, 25)
+    print("\nAblation: plain vs accelerated AlmostRoute iterations")
+    for eps in (0.4, 0.2):
+        plain = almost_route(g, approx, demand, eps)
+        fast = accelerated_almost_route(g, approx, demand, eps)
+        print(
+            f"    eps={eps}: plain={plain.iterations} "
+            f"accelerated={fast.iterations} "
+            f"speedup={plain.iterations / max(fast.iterations, 1):.2f}x"
+        )
+        assert fast.converged
+        assert fast.iterations <= plain.iterations * 1.1
+    benchmark(lambda: accelerated_almost_route(g, approx, demand, 0.4).iterations)
+
+
+def test_ablation_approximator_methods_exhaustive(benchmark):
+    """Grade each construction against exact all-pairs min cuts."""
+    g = random_connected(16, 0.25, rng=1003)
+    ght = gomory_hu_tree(g)
+    print("\nAblation: worst opt/estimate over ALL s-t pairs (n=16)")
+    worst_by_method = {}
+    for method in ("hierarchy", "mwu", "bfs"):
+        approx = build_congestion_approximator(
+            g, num_trees=5, rng=1004, method=method, alpha=1.0
+        )
+        worst = 1.0
+        for u, v in itertools.combinations(range(16), 2):
+            opt = 1.0 / ght.min_cut_value(u, v)
+            estimate = approx.estimate(st_demand(g, u, v))
+            assert estimate <= opt + 1e-9  # soundness for every method
+            worst = max(worst, opt / estimate)
+        worst_by_method[method] = worst
+        print(f"    {method:>9}: worst alpha = {worst:.3f}")
+    # The paper's construction should be competitive with the flat MWU.
+    assert worst_by_method["hierarchy"] <= worst_by_method["bfs"] * 1.5
+    benchmark(
+        lambda: build_congestion_approximator(
+            g, num_trees=5, rng=1005, alpha=1.0
+        ).num_trees
+    )
+
+
+def test_ablation_core_sparsification(benchmark):
+    """Sparsifying cores (the paper's Lemma 6.1 step) changes work, not
+    soundness: both variants produce sound virtual trees; sparsified
+    cores touch fewer edges per level on dense inputs."""
+    g = complete(40, rng=1006)
+    params_on = HierarchyParams(sparsify_cores=True)
+    params_off = HierarchyParams(sparsify_cores=False)
+    with_s = sample_virtual_tree(g, rng=1007, params=params_on)
+    without = sample_virtual_tree(g, rng=1007, params=params_off)
+    print(
+        f"\nAblation: sparsified cores -> sparsifier_rounds="
+        f"{with_s.sparsifier_rounds}; unsparsified -> "
+        f"{without.sparsifier_rounds}"
+    )
+    assert with_s.sparsifier_rounds >= 1
+    assert without.sparsifier_rounds == 0
+    # Both are valid spanning trees with positive cut capacities.
+    for vt in (with_s, without):
+        children = [v for v in range(40) if vt.tree.parent[v] >= 0]
+        assert all(vt.tree.capacity[v] > 0 for v in children)
+    benchmark(
+        lambda: sample_virtual_tree(g, rng=1008, params=params_on).levels
+    )
+
+
+def test_ablation_distributed_components(benchmark):
+    """Measured rounds of the three genuinely distributed subroutines
+    against their charged bounds (extends E9 to the heavy pieces)."""
+    from repro.congest import (
+        distributed_spanning_tree,
+        distributed_tree_flow,
+    )
+    from repro.graphs.trees import bfs_tree
+
+    g = random_connected(24, 0.15, rng=1009)
+    mst_run = distributed_spanning_tree(g, maximize=True)
+    tree = bfs_tree(g, root=0)
+    flow_run = distributed_tree_flow(g, tree)
+    print(
+        f"\nDistributed components on n=24: Boruvka MST "
+        f"{mst_run.rounds} rounds ({mst_run.phases} phases); "
+        f"Lemma 8.1 tree flow {flow_run.rounds} rounds "
+        f"(tree height {tree.height()})"
+    )
+    assert mst_run.phases <= 24 .bit_length() + 1
+    assert flow_run.rounds <= 6 * (tree.height() + 2)
+    benchmark(lambda: distributed_tree_flow(g, tree).rounds)

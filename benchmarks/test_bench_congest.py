@@ -1,0 +1,61 @@
+"""E9 — Lemma 5.1 and the communication primitives: measured rounds on
+the message-level CONGEST simulator versus the charged bounds."""
+
+from __future__ import annotations
+
+from repro.congest import (
+    CostModel,
+    broadcast,
+    build_bfs_tree,
+    convergecast_sum,
+    pipelined_aggregate,
+)
+from repro.graphs.generators import grid, path, random_connected
+
+
+def test_e9_primitive_round_table(benchmark):
+    print("\nE9: measured primitive rounds vs charged bounds")
+    for name, make in [
+        ("path30", lambda: path(30, rng=981)),
+        ("grid7x7", lambda: grid(7, 7, rng=982)),
+        ("random40", lambda: random_connected(40, 0.12, rng=983)),
+    ]:
+        g = make()
+        model = CostModel.for_graph(g)
+        tree, bfs_rounds = build_bfs_tree(g, root=0)
+        _, bc_rounds = broadcast(g, tree, 1)
+        _, cc_rounds = convergecast_sum(g, tree, [1.0] * g.num_nodes)
+        k = 12
+        _, pipe_rounds = pipelined_aggregate(
+            g, tree, [[1.0] * k for _ in g.nodes()]
+        )
+        row = {
+            "family": name,
+            "D": g.diameter(),
+            "bfs": bfs_rounds,
+            "bfs_bound": model.diameter + 2,
+            "broadcast": bc_rounds,
+            "pipelined_k12": pipe_rounds,
+            "pipelined_bound": tree.height() + k + 2,
+        }
+        print("   ", row)
+        assert bfs_rounds <= model.diameter + 2
+        assert bc_rounds <= tree.height() + 2
+        assert cc_rounds <= tree.height() + 2
+        assert pipe_rounds <= tree.height() + k + 2
+
+    g = grid(7, 7, rng=984)
+    benchmark(lambda: build_bfs_tree(g, root=0)[1])
+
+
+def test_e9_pipelining_gain(benchmark):
+    """Lemma 5.1's point: k aggregations cost D + k, not k·D."""
+    g = path(40, rng=985)
+    tree, _ = build_bfs_tree(g, root=0)
+    k = 30
+    values = [[1.0] * k for _ in g.nodes()]
+    _, rounds = pipelined_aggregate(g, tree, values)
+    sequential_cost = k * tree.height()
+    print(f"\nE9p: pipelined {rounds} rounds vs sequential ~{sequential_cost}")
+    assert rounds < sequential_cost / 4
+    benchmark(lambda: pipelined_aggregate(g, tree, values)[1])

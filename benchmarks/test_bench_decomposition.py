@@ -1,0 +1,54 @@
+"""E8 — Lemma 8.2: random tree decomposition bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster import decompose_tree
+from repro.graphs.generators import caterpillar, path, random_connected
+from repro.graphs.trees import bfs_tree
+
+
+def test_e8_component_and_depth_bounds(benchmark):
+    print("\nE8: tree decomposition (Lemma 8.2) — components ~ sqrt(n), depth ~ sqrt(n) log n")
+    for name, make in [
+        ("path400", lambda: path(400, rng=971)),
+        ("caterpillar", lambda: caterpillar(120, 2, rng=972)),
+        ("random300", lambda: random_connected(300, 0.01, rng=973)),
+    ]:
+        g = make()
+        tree = bfs_tree(g, root=0)
+        comps, depths = [], []
+        for seed in range(5):
+            deco = decompose_tree(tree, rng=seed)
+            comps.append(deco.num_components)
+            depths.append(deco.max_depth)
+        n = g.num_nodes
+        row = {
+            "family": name,
+            "n": n,
+            "tree_height": tree.height(),
+            "mean_components": round(float(np.mean(comps)), 1),
+            "sqrt_n": round(math.sqrt(n), 1),
+            "mean_max_depth": round(float(np.mean(depths)), 1),
+            "bound": round(math.sqrt(n) * math.log(n), 1),
+        }
+        print("   ", row)
+        assert np.mean(comps) < 4 * math.sqrt(n)
+        assert np.mean(depths) < 3 * math.sqrt(n) * math.log(n)
+
+    g = path(400, rng=974)
+    tree = bfs_tree(g, root=0)
+    benchmark(lambda: decompose_tree(tree, rng=0).num_components)
+
+
+def test_e8_depth_much_below_tree_height(benchmark):
+    """The point of the lemma: a depth-n tree becomes depth-Õ(√n)."""
+    g = path(900, rng=975)
+    tree = bfs_tree(g, root=0)
+    depths = [decompose_tree(tree, rng=s).max_depth for s in range(5)]
+    print(f"\nE8d: height {tree.height()} -> mean decomposed depth {np.mean(depths):.0f}")
+    assert np.mean(depths) < tree.height() / 3
+    benchmark(lambda: decompose_tree(tree, rng=1).max_depth)

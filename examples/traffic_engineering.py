@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Traffic engineering: route a traffic matrix with minimum congestion.
+
+The scenario the paper's framework actually shines at: one congestion
+approximator is built for the network once, then *many* demands are
+routed against it (the approximator is demand-independent). We model a
+city-grid backbone carrying several concurrent flows and report, per
+demand, the achieved max link utilization against the certified lower
+bound from the approximator's cut rows.
+
+Run:  python examples/traffic_engineering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_congestion_approximator, min_congestion_flow
+from repro.graphs.generators import torus
+from repro.util.validation import check_flow_conservation
+
+
+def main() -> None:
+    # A 8x8 torus backbone: every link has capacity 10..100.
+    network = torus(8, 8, rng=21)
+    n = network.num_nodes
+    print(f"backbone: n={n}, m={network.num_edges} (torus)")
+
+    approximator = build_congestion_approximator(network, rng=22)
+    print(f"approximator ready: {approximator.num_trees} trees, "
+          f"alpha={approximator.alpha:.2f}\n")
+
+    # Three traffic patterns: point-to-point, hotspot fan-in, and an
+    # all-to-corner gravity pattern.
+    rng = np.random.default_rng(23)
+    patterns: dict[str, np.ndarray] = {}
+
+    p2p = np.zeros(n)
+    p2p[0], p2p[n - 1] = 30.0, -30.0
+    patterns["point-to-point (30 units)"] = p2p
+
+    fanin = np.zeros(n)
+    sources = rng.choice(np.arange(1, n), size=6, replace=False)
+    fanin[sources] = 5.0
+    fanin[0] = -30.0
+    patterns["hotspot fan-in (6 x 5 units)"] = fanin
+
+    gravity = rng.uniform(0.0, 2.0, size=n)
+    gravity[27] = 0.0
+    gravity[27] = -gravity.sum()
+    patterns["gravity to node 27"] = gravity
+
+    for name, demand in patterns.items():
+        result = min_congestion_flow(
+            network, demand, epsilon=0.3, approximator=approximator
+        )
+        check_flow_conservation(network, result.flow, demand)
+        print(f"{name}")
+        print(f"  max link utilization : {result.congestion:.4f}")
+        print(f"  certified lower bound: {result.lower_bound:.4f}")
+        print(f"  optimality gap bound : "
+              f"{result.approximation_ratio_bound:.2f}x")
+        print(f"  gradient steps       : {result.iterations}\n")
+
+    print("All demands routed exactly (conservation verified).")
+
+
+if __name__ == "__main__":
+    main()

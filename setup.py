@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment has no `wheel` package, so the
+PEP 517 editable path is unavailable; `pip install -e .` uses this)."""
+
+from setuptools import setup
+
+setup()

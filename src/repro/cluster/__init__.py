@@ -1,0 +1,6 @@
+"""Cluster graphs (paper Section 5) and tree decompositions (Lemma 8.2)."""
+
+from repro.cluster.cluster_graph import ClusterGraph
+from repro.cluster.decomposition import TreeDecomposition, decompose_tree
+
+__all__ = ["ClusterGraph", "TreeDecomposition", "decompose_tree"]

@@ -1,0 +1,50 @@
+"""CONGEST-model simulator and distributed primitives."""
+
+from repro.congest.model import (
+    CongestNetwork,
+    Message,
+    NodeContext,
+    RunResult,
+    message_words,
+)
+from repro.congest.bfs import build_bfs_tree
+from repro.congest.broadcast import broadcast, convergecast_sum, pipelined_aggregate
+from repro.congest.leader import elect_leader
+from repro.congest.push_relabel import PushRelabelRun, distributed_push_relabel
+from repro.congest.cost import CostModel, RoundLedger
+from repro.congest.spanning_tree import (
+    BoruvkaNode,
+    SpanningTreeRun,
+    distributed_spanning_tree,
+)
+from repro.congest.tree_flow import TreeFlowRun, distributed_tree_flow
+from repro.congest.cluster_sim import (
+    ClusterExchangeResult,
+    cluster_flood_max,
+    simulate_cluster_round,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "Message",
+    "NodeContext",
+    "RunResult",
+    "message_words",
+    "build_bfs_tree",
+    "broadcast",
+    "convergecast_sum",
+    "pipelined_aggregate",
+    "elect_leader",
+    "PushRelabelRun",
+    "distributed_push_relabel",
+    "CostModel",
+    "RoundLedger",
+    "BoruvkaNode",
+    "SpanningTreeRun",
+    "distributed_spanning_tree",
+    "ClusterExchangeResult",
+    "cluster_flood_max",
+    "simulate_cluster_round",
+    "TreeFlowRun",
+    "distributed_tree_flow",
+]

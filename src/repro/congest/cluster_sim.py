@@ -1,0 +1,234 @@
+"""Simulating cluster-graph algorithms on the network (Lemma 5.1).
+
+The paper's recursion runs algorithms *on cluster graphs* while the
+physical network is G; Lemma 5.1 shows one cluster-graph round can be
+simulated in O(D + √n) network rounds. This module implements the
+simulation on the message-level simulator, per cluster round:
+
+1. **downcast** — each cluster leader's outgoing message is flooded
+   down the cluster's internal spanning tree;
+2. **exchange** — for every cluster edge, the two endpoints of its
+   realizing physical edge (the ψ map of Definition 5.1) swap the
+   clusters' messages;
+3. **convergecast** — received values are combined (with a caller-
+   supplied associative ``combine``) up the cluster tree to the leader.
+
+This matches the Lemma 5.1 proof for clusters of depth Õ(√n) — the
+invariant the hierarchy maintains (Lemma 8.2); the global-BFS
+pipelining for oversized clusters is charged analytically by the cost
+model. Each message is a constant number of O(log n)-bit words, and the
+measured round count is ``2 · max cluster depth + O(1)`` per cluster
+round (asserted in tests against the Lemma 5.1 charge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.cluster_graph import ClusterGraph
+from repro.congest.model import CongestNetwork, Message, NodeContext
+
+__all__ = ["ClusterExchangeResult", "simulate_cluster_round", "cluster_flood_max"]
+
+
+@dataclass
+class ClusterExchangeResult:
+    """One simulated cluster round.
+
+    Attributes:
+        leader_values: Per cluster, the combined value of all messages
+            received over its incident cluster edges (None if no
+            incident edges delivered anything).
+        rounds: Network rounds consumed.
+    """
+
+    leader_values: list[Any]
+    rounds: int
+
+
+class _ClusterRoundNode:
+    """Node program for one cluster round (downcast/exchange/convergecast)."""
+
+    def __init__(
+        self,
+        node: int,
+        cg: ClusterGraph,
+        outgoing: Any,
+        combine: Callable[[Any, Any], Any],
+        children: list[int],
+        child_edges: dict[int, int],
+        parent_edge: int,
+        psi_edges: list[int],
+    ) -> None:
+        self.node = node
+        self.cluster = cg.assignment[node]
+        self.is_leader = cg.parent[node] < 0
+        self.outgoing = outgoing if self.is_leader else None
+        self.combine = combine
+        self.children = children
+        self.child_edges = child_edges
+        self.parent_edge = parent_edge
+        self.psi_edges = psi_edges
+        self.accumulator: Any = None
+        self.leader_value: Any = None
+        self._downcast_done = self.is_leader
+        self._exchanged = False
+        self._pending_children = set(children)
+        self._expected_xchg = len(psi_edges)
+        self._received_xchg = 0
+        self._sent_up = False
+
+    def init(self, ctx: NodeContext) -> None:
+        pass
+
+    def _absorb(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.accumulator is None:
+            self.accumulator = value
+        else:
+            self.accumulator = self.combine(self.accumulator, value)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> bool:
+        for msg in inbox:
+            kind, value = msg.payload[0], msg.payload[1]
+            if kind == "down":
+                self.outgoing = value
+                self._downcast_done = True
+            elif kind == "xchg":
+                self._absorb(value)
+                self._received_xchg += 1
+            elif kind == "up":
+                self._absorb(value)
+                self._pending_children.discard(msg.sender)
+
+        # Phase A: forward the leader's message downward once known.
+        if self._downcast_done and not self._exchanged:
+            for child in self.children:
+                ctx.send(self.child_edges[child], ("down", self.outgoing))
+            # Phase B: fire the psi exchanges this node manages.
+            for eid in self.psi_edges:
+                ctx.send(eid, ("xchg", self.outgoing))
+            self._exchanged = True
+            return False
+
+        # Phase C: once every child reported and every expected psi
+        # exchange has arrived, push the accumulator up.
+        if (
+            self._exchanged
+            and not self._pending_children
+            and self._received_xchg >= self._expected_xchg
+            and not self._sent_up
+        ):
+            if self.is_leader:
+                self.leader_value = self.accumulator
+            elif self.parent_edge >= 0:
+                ctx.send(self.parent_edge, ("up", self.accumulator))
+            self._sent_up = True
+        return self._sent_up
+
+
+def _edge_lookup(cg: ClusterGraph) -> dict[tuple[int, int], int]:
+    pairs: dict[tuple[int, int], int] = {}
+    for e in cg.base.edges():
+        pairs.setdefault((min(e.u, e.v), max(e.u, e.v)), e.id)
+    return pairs
+
+
+def simulate_cluster_round(
+    cluster_graph: ClusterGraph,
+    leader_messages: Sequence[Any],
+    combine: Callable[[Any, Any], Any],
+    network: CongestNetwork | None = None,
+) -> ClusterExchangeResult:
+    """Simulate one cluster-graph communication round (Lemma 5.1).
+
+    Args:
+        cluster_graph: The current cluster structure (Definition 5.1).
+        leader_messages: ``leader_messages[c]`` — the message cluster c
+            sends over all its incident cluster edges this round.
+        combine: Associative combiner applied to the messages a cluster
+            receives (e.g. ``max``, ``min``, ``operator.add``) — the
+            aggregation the Lemma 5.1 proof performs on cluster trees.
+        network: Optional pre-built simulator over the base graph.
+
+    Returns:
+        A :class:`ClusterExchangeResult` with each leader's combined
+        inbox and the measured network rounds.
+    """
+    cg = cluster_graph
+    base = cg.base
+    net = network or CongestNetwork(base)
+    pairs = _edge_lookup(cg)
+
+    children: list[list[int]] = [[] for _ in range(base.num_nodes)]
+    child_edges: list[dict[int, int]] = [{} for _ in range(base.num_nodes)]
+    parent_edge = [-1] * base.num_nodes
+    for v in range(base.num_nodes):
+        p = cg.parent[v]
+        if p >= 0:
+            eid = pairs[(min(v, p), max(v, p))]
+            children[p].append(v)
+            child_edges[p][v] = eid
+            parent_edge[v] = eid
+    # psi edges: assign each quotient edge to its lower-id endpoint of
+    # the physical edge (both sides send, so pick both endpoints).
+    psi_edges: list[list[int]] = [[] for _ in range(base.num_nodes)]
+    for eid in cg.edge_origin:
+        u, v = base.endpoints(eid)
+        psi_edges[u].append(eid)
+        psi_edges[v].append(eid)
+
+    result = net.run(
+        lambda v: _ClusterRoundNode(
+            v,
+            cg,
+            leader_messages[cg.assignment[v]],
+            combine,
+            children[v],
+            child_edges[v],
+            parent_edge[v],
+            psi_edges[v],
+        )
+    )
+    leader_values: list[Any] = [None] * cg.num_clusters
+    for c, root in enumerate(cg.roots):
+        leader_values[c] = result.states[root].leader_value
+    return ClusterExchangeResult(
+        leader_values=leader_values, rounds=result.rounds
+    )
+
+
+def cluster_flood_max(
+    cluster_graph: ClusterGraph,
+    rounds: int | None = None,
+) -> tuple[int, int]:
+    """Leader election across clusters by repeated cluster rounds.
+
+    Runs flood-max *on the cluster graph* (each cluster repeatedly
+    shares the largest cluster id it has seen), each cluster round
+    simulated on the network per Lemma 5.1.
+
+    Returns:
+        ``(winning cluster id, total network rounds)``.
+    """
+    cg = cluster_graph
+    if rounds is None:
+        rounds = cg.num_clusters  # safe diameter bound on the quotient
+    known = list(range(cg.num_clusters))
+    total_network_rounds = 0
+    for _ in range(rounds):
+        result = simulate_cluster_round(cg, known, max)
+        total_network_rounds += result.rounds
+        changed = False
+        for c in range(cg.num_clusters):
+            value = result.leader_values[c]
+            if value is not None and value > known[c]:
+                known[c] = value
+                changed = True
+        if not changed:
+            break
+    winners = set(known)
+    assert len(winners) == 1, "cluster flood-max did not converge"
+    return winners.pop(), total_network_rounds

@@ -1,0 +1,72 @@
+"""Leader election by flood-max.
+
+Cluster graphs (Definition 5.1) require a unique leader per cluster;
+the standard way to pick one distributedly is flooding the maximum id,
+which stabilizes in D rounds. Implemented on the simulator both for use
+in cluster bootstrapping and as a round-count check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.congest.model import CongestNetwork, Message, NodeContext
+from repro.graphs.graph import Graph
+
+__all__ = ["FloodMaxNode", "elect_leader"]
+
+
+class FloodMaxNode:
+    """Flood-max leader election.
+
+    Every node repeatedly forwards the largest id it has seen. A node
+    terminates after ``num_nodes`` rounds (a safe upper bound on D when
+    D is unknown) or ``rounds_budget`` rounds when a diameter bound is
+    supplied.
+
+    Attributes (outputs):
+        leader: The largest node id in the graph.
+    """
+
+    def __init__(self, node: int, rounds_budget: int) -> None:
+        self.node = node
+        self.leader = node
+        self.rounds_budget = rounds_budget
+        self._round = 0
+        self._last_sent: int | None = None
+
+    def init(self, ctx: NodeContext) -> None:
+        pass
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> bool:
+        for msg in inbox:
+            self.leader = max(self.leader, int(msg.payload))
+        self._round += 1
+        if self._round > self.rounds_budget:
+            return True
+        if self.leader != self._last_sent:
+            ctx.send_to_all_neighbors(self.leader)
+            self._last_sent = self.leader
+        return False
+
+
+def elect_leader(
+    graph: Graph,
+    diameter_bound: int | None = None,
+    network: CongestNetwork | None = None,
+) -> tuple[int, int]:
+    """Elect the max-id node as leader.
+
+    Args:
+        graph: Topology.
+        diameter_bound: Known upper bound on D; defaults to n.
+
+    Returns:
+        ``(leader_id, rounds)``.
+    """
+    net = network or CongestNetwork(graph)
+    budget = diameter_bound if diameter_bound is not None else graph.num_nodes
+    result = net.run(lambda v: FloodMaxNode(v, budget))
+    leaders = {state.leader for state in result.states}
+    assert len(leaders) == 1, "flood-max did not converge"
+    return leaders.pop(), result.rounds

@@ -1,0 +1,214 @@
+"""Distributed push-relabel in the CONGEST model.
+
+This is the baseline the paper's introduction uses to motivate the
+whole work: "Goldberg and Tarjan's push-relabel algorithm, which is
+very local and simple to implement in the CONGEST model, requires
+Ω(n²) rounds to converge." (Section 1.2.)
+
+The implementation below is the natural synchronous localization:
+
+* each node stores its height and excess;
+* each round, every active node (positive excess, not s or t) pushes
+  along admissible incident edges — but a push must be *announced* to
+  the neighbor, so pushes take effect at the next round; to respect
+  capacities under concurrency, a node pushes on at most one edge per
+  round (choosing the admissible edge with lowest neighbor height);
+* a node with excess but no admissible edge relabels to one more than
+  its minimum-height residual neighbor; height changes are announced
+  to neighbors (heights are the only remote state pushes depend on);
+* termination is detected by a global quiescence counter piggybacked
+  here as "no node active for ``diameter_bound`` consecutive rounds"
+  (in a real network one would run a termination-detection BFS; the
+  simulator's global view is used only to *stop*, never to compute).
+
+Round counts of this baseline versus `(√n + D)·n^o(1)` are Experiment
+E1 (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.congest.model import CongestNetwork, Message, NodeContext
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["DistributedPushRelabelNode", "distributed_push_relabel", "PushRelabelRun"]
+
+
+@dataclass
+class PushRelabelRun:
+    """Result of a distributed push-relabel run.
+
+    Attributes:
+        value: Max-flow value (excess accumulated at the sink).
+        rounds: Synchronous rounds until quiescence.
+        flow: Signed flow per edge (positive along fixed orientation).
+        pushes: Total push operations executed.
+        relabels: Total relabel operations executed.
+    """
+
+    value: float
+    rounds: int
+    flow: np.ndarray
+    pushes: int
+    relabels: int
+
+
+class DistributedPushRelabelNode:
+    """Per-node push-relabel state machine. See module docstring."""
+
+    def __init__(self, node: int, source: int, sink: int, quiet_rounds: int) -> None:
+        self.node = node
+        self.source = source
+        self.sink = sink
+        self.quiet_rounds = quiet_rounds
+        self.height = 0
+        self.excess = 0.0
+        self.pushes = 0
+        self.relabels = 0
+        # flow_out[eid] = signed flow this node has pushed out on eid
+        # (from this node's perspective).
+        self.flow_out: dict[int, float] = {}
+        self._neighbor_height: dict[int, int] = {}
+        self._edge_cap: dict[int, float] = {}
+        self._edge_neighbor: dict[int, int] = {}
+        self._quiet = 0
+        self._initialized = False
+
+    # -- local residual helpers ---------------------------------------
+    def _residual(self, eid: int) -> float:
+        """Residual capacity from this node across edge eid (undirected
+        edge: cap - net flow already sent from this side)."""
+        return self._edge_cap[eid] - self.flow_out.get(eid, 0.0)
+
+    def init(self, ctx: NodeContext) -> None:
+        for nbr, eid, cap in ctx.incident:
+            self._neighbor_height[eid] = 0
+            self._edge_cap[eid] = cap
+            self._edge_neighbor[eid] = nbr
+        if self.node == self.source:
+            self.height = ctx.num_nodes
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> bool:
+        # 1. Apply incoming pushes and height announcements.
+        for msg in inbox:
+            payload = list(msg.payload)
+            while payload:
+                kind = payload.pop(0)
+                value = payload.pop(0)
+                if kind == "push":
+                    amount = float(value)
+                    self.excess += amount
+                    self.flow_out[msg.edge] = (
+                        self.flow_out.get(msg.edge, 0.0) - amount
+                    )
+                elif kind == "height":
+                    self._neighbor_height[msg.edge] = int(value)
+
+        acted = False
+        # 2. Round 1: everyone announces its initial height; the source
+        # additionally saturates all incident edges. Heights and pushes
+        # travel together, so no node ever acts on a missing source
+        # height (which would let excess leak back to the source early).
+        if not self._initialized:
+            if self.node == self.source:
+                for eid, cap in self._edge_cap.items():
+                    self.flow_out[eid] = cap
+                    ctx.send(eid, ("push", cap, "height", self.height))
+                    self.pushes += 1
+            else:
+                ctx.send_to_all_neighbors(("height", self.height))
+            self._initialized = True
+            return False
+
+        # 3. Active? Push or relabel.
+        if (
+            self.node not in (self.source, self.sink)
+            and self.excess > 1e-9
+        ):
+            admissible = [
+                eid
+                for eid in self._edge_cap
+                if self._residual(eid) > 1e-9
+                and self.height == self._neighbor_height[eid] + 1
+            ]
+            if admissible:
+                eid = min(admissible, key=lambda e: self._neighbor_height[e])
+                amount = min(self.excess, self._residual(eid))
+                self.excess -= amount
+                self.flow_out[eid] = self.flow_out.get(eid, 0.0) + amount
+                ctx.send(eid, ("push", amount))
+                self.pushes += 1
+                acted = True
+            else:
+                candidates = [
+                    self._neighbor_height[eid]
+                    for eid in self._edge_cap
+                    if self._residual(eid) > 1e-9
+                ]
+                if candidates:
+                    new_height = min(candidates) + 1
+                    if new_height > self.height:
+                        self.height = new_height
+                        self.relabels += 1
+                        ctx.send_to_all_neighbors(("height", self.height))
+                        acted = True
+
+        # 4. Local quiescence tracking (global detection in the runner).
+        if acted:
+            self._quiet = 0
+        else:
+            self._quiet += 1
+        return self._quiet >= self.quiet_rounds
+
+
+def distributed_push_relabel(
+    graph: Graph,
+    source: int,
+    sink: int,
+    network: CongestNetwork | None = None,
+    max_rounds: int = 2_000_000,
+) -> PushRelabelRun:
+    """Run distributed push-relabel to quiescence and recover the flow.
+
+    Args:
+        graph: Undirected capacitated topology.
+        source: Source node.
+        sink: Sink node.
+        network: Optional pre-built simulator (for custom budgets).
+        max_rounds: Safety cap for the simulator.
+
+    Returns:
+        A :class:`PushRelabelRun`; ``run.value`` matches the exact max
+        flow (validated in tests against Dinic).
+    """
+    if source == sink:
+        raise GraphError("source and sink must differ")
+    net = network or CongestNetwork(graph)
+    # Quiescence window: messages (pushes/heights) travel 1 hop per
+    # round, so 3 quiet rounds at *every* node means nothing is in
+    # flight anywhere; use a small constant window per node — global
+    # termination requires all nodes quiet simultaneously.
+    quiet_window = 3
+    result = net.run(
+        lambda v: DistributedPushRelabelNode(v, source, sink, quiet_window),
+        max_rounds=max_rounds,
+    )
+    states: list[DistributedPushRelabelNode] = result.states
+    value = states[sink].excess
+    flow = np.zeros(graph.num_edges)
+    for e in graph.edges():
+        # Net flow along orientation u->v: pushes from u minus pushes
+        # from v, averaged from both endpoints' books (they agree).
+        flow[e.id] = states[e.u].flow_out.get(e.id, 0.0)
+    return PushRelabelRun(
+        value=float(value),
+        rounds=result.rounds,
+        flow=flow,
+        pushes=sum(s.pushes for s in states),
+        relabels=sum(s.relabels for s in states),
+    )

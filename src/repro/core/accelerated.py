@@ -1,0 +1,142 @@
+"""Accelerated AlmostRoute (paper footnote 3).
+
+Sherman notes that Nesterov's accelerated gradient method improves the
+iteration count of AlmostRoute from O(ε⁻³ α² log² n) to
+O(ε⁻² α log² n). This module implements the momentum variant: the
+gradient is evaluated at the look-ahead point
+``z_k = f_k + (k-1)/(k+2) · (f_k − f_{k-1})`` and the step is applied
+from ``z_k``, with the classical restart-on-increase safeguard (momentum
+is reset whenever the potential rises, which keeps the method robust on
+this non-Euclidean geometry).
+
+The scaled-potential bookkeeping (17/16 re-scalings, kb/kf factors) is
+identical to :func:`repro.core.almost_route.almost_route`; benchmarks
+compare the two head-to-head (the ablation bench E6a2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.almost_route import (
+    SCALE_STEP,
+    TARGET_FACTOR,
+    AlmostRouteResult,
+)
+from repro.core.approximator import TreeCongestionApproximator
+from repro.core.softmax import smax_and_gradient
+from repro.errors import ConvergenceError
+from repro.graphs.graph import Graph
+from repro.util.validation import check_demand
+
+__all__ = ["accelerated_almost_route"]
+
+
+def accelerated_almost_route(
+    graph: Graph,
+    approximator: TreeCongestionApproximator,
+    demand: np.ndarray,
+    epsilon: float,
+    max_iterations: int | None = None,
+    raise_on_budget: bool = False,
+) -> AlmostRouteResult:
+    """Momentum-accelerated Algorithm 2.
+
+    Same contract as :func:`repro.core.almost_route.almost_route`; on
+    well-conditioned instances it converges in noticeably fewer
+    iterations (the footnote-3 α²→α improvement shows up as a smaller
+    effective step-count constant).
+    """
+    demand = check_demand(graph, demand)
+    n = graph.num_nodes
+    m = graph.num_edges
+    alpha = max(1.0, float(approximator.alpha))
+    eps = float(epsilon)
+    if not 0 < eps <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    ln_n = math.log(max(n, 3))
+    target = TARGET_FACTOR * ln_n / eps
+    if max_iterations is None:
+        max_iterations = int(min(300_000, 200 + 40 * alpha * ln_n / eps**2))
+
+    caps = graph.capacities()
+    tails, heads = graph.edge_index_arrays()
+    norm_rb = approximator.estimate(demand)
+    if norm_rb <= 0:
+        return AlmostRouteResult(
+            flow=np.zeros(m),
+            residual=demand.copy(),
+            iterations=0,
+            scalings=0,
+            potential=0.0,
+            delta=0.0,
+            converged=True,
+        )
+    kb = 2.0 * alpha * norm_rb / target
+    b = demand / kb
+    f = np.zeros(m)
+    f_prev = np.zeros(m)
+    kf = 1.0
+    scalings = 0
+    iterations = 0
+    momentum_age = 0
+    last_potential = float("inf")
+    potential = 0.0
+    delta = float("inf")
+    converged = False
+
+    def evaluate(flow: np.ndarray, b_now: np.ndarray):
+        residual = b_now + graph.excess(flow)
+        phi1, g1 = smax_and_gradient(flow / caps)
+        y = 2.0 * alpha * approximator.apply(residual)
+        phi2, g2 = smax_and_gradient(y)
+        return phi1 + phi2, g1, g2
+
+    while iterations < max_iterations:
+        potential, _, _ = evaluate(f, b)
+        inner_guard = 0
+        while potential < target and inner_guard < 4096:
+            f *= SCALE_STEP
+            f_prev *= SCALE_STEP
+            b *= SCALE_STEP
+            kf *= SCALE_STEP
+            scalings += 1
+            inner_guard += 1
+            potential, _, _ = evaluate(f, b)
+        # Momentum restart when the potential went up.
+        if potential > last_potential:
+            momentum_age = 0
+            f_prev = f.copy()
+        last_potential = potential
+        beta = momentum_age / (momentum_age + 3.0)
+        z = f + beta * (f - f_prev)
+        _, g1, g2 = evaluate(z, b)
+        pi = approximator.apply_transpose(g2)
+        grad = g1 / caps + 2.0 * alpha * (pi[heads] - pi[tails])
+        delta = float(np.sum(caps * np.abs(grad)))
+        if delta < eps / 4.0:
+            converged = True
+            break
+        f_prev = f
+        f = z - np.sign(grad) * caps * (delta / (1.0 + 4.0 * alpha**2))
+        momentum_age += 1
+        iterations += 1
+
+    if not converged and raise_on_budget:
+        raise ConvergenceError(
+            f"accelerated AlmostRoute did not converge in "
+            f"{max_iterations} iterations (delta={delta:.3g})"
+        )
+    unscale = kb / kf
+    flow_out = f * unscale
+    return AlmostRouteResult(
+        flow=flow_out,
+        residual=demand + graph.excess(flow_out),
+        iterations=iterations,
+        scalings=scalings,
+        potential=potential,
+        delta=delta,
+        converged=converged,
+    )

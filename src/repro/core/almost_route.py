@@ -1,0 +1,176 @@
+"""Algorithm 2 — AlmostRoute, Sherman's scaled gradient descent (§9.1).
+
+Minimizes the potential
+
+    φ(f) = smax(C⁻¹ f) + smax(2α · R · r(f)),   r(f) = b + B f,
+
+where ``r(f)`` is the *residual demand* (the library's convention: a
+flow routes b when the net outflow of every node equals b_v, i.e.
+``b + Bf = 0`` with ``Bf`` the net-inflow operator).
+
+The demand is pre-scaled so φ starts at Θ(ε⁻¹ log n) and is re-scaled
+by 17/16 whenever the potential drops below that sharpness threshold
+(Algorithm 2 lines 4–5); each iteration moves every edge by
+``cap(e) · δ / (1 + 4α²)`` against the gradient sign, where
+``δ = Σ_e cap(e) · |∂φ/∂f_e|``; termination once δ < ε/4.
+
+Gradient structure (paper Eqs. (3)–(4)): the φ₂ part needs one R
+product (for y) and one Rᵀ product (for the node potentials π); then
+``∂φ₂/∂f_e = 2α (π_head − π_tail)``. Distributedly these are the
+convergecast/downcast of Corollary 9.3; here they are the Euler-tour
+operators of :class:`~repro.core.approximator.TreeOperator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.approximator import TreeCongestionApproximator
+from repro.core.softmax import smax_and_gradient
+from repro.errors import ConvergenceError
+from repro.graphs.graph import Graph
+from repro.util.validation import check_demand
+
+__all__ = ["AlmostRouteResult", "almost_route"]
+
+#: Scale-up factor of Algorithm 2 line 5.
+SCALE_STEP = 17.0 / 16.0
+#: Sharpness target multiplier: φ is kept at >= TARGET_FACTOR·ln(n)/ε.
+TARGET_FACTOR = 16.0
+
+
+@dataclass
+class AlmostRouteResult:
+    """Outcome of one AlmostRoute call.
+
+    Attributes:
+        flow: Flow for the *original* (unscaled) demand.
+        residual: Remaining demand ``b + B f`` (original scale).
+        iterations: Gradient steps taken.
+        scalings: 17/16 re-scalings performed.
+        potential: Final potential value (scaled problem).
+        delta: Final gradient norm δ.
+        converged: Whether δ < ε/4 was reached within the budget.
+    """
+
+    flow: np.ndarray
+    residual: np.ndarray
+    iterations: int
+    scalings: int
+    potential: float
+    delta: float
+    converged: bool
+
+
+def almost_route(
+    graph: Graph,
+    approximator: TreeCongestionApproximator,
+    demand: np.ndarray,
+    epsilon: float,
+    max_iterations: int | None = None,
+    raise_on_budget: bool = False,
+) -> AlmostRouteResult:
+    """Run Algorithm 2.
+
+    Args:
+        graph: The capacitated graph.
+        approximator: The congestion approximator R (with its α).
+        demand: Demand vector b (must sum to zero).
+        epsilon: Target accuracy ε of the potential minimization.
+        max_iterations: Gradient-step budget; defaults to the theory's
+            O(α² ε⁻³ log n) shape with a pragmatic constant.
+        raise_on_budget: If True, raise :class:`ConvergenceError` when
+            the budget is exhausted; otherwise return the best iterate
+            with ``converged=False``.
+
+    Returns:
+        An :class:`AlmostRouteResult`. ``flow`` is *not* necessarily
+        feasible (soft capacity constraint); Algorithm 1 rescales.
+    """
+    demand = check_demand(graph, demand)
+    n = graph.num_nodes
+    m = graph.num_edges
+    alpha = max(1.0, float(approximator.alpha))
+    eps = float(epsilon)
+    if not 0 < eps <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    ln_n = math.log(max(n, 3))
+    target = TARGET_FACTOR * ln_n / eps
+    if max_iterations is None:
+        max_iterations = int(
+            min(300_000, 200 + 40 * alpha**2 * ln_n / eps**3)
+        )
+
+    caps = graph.capacities()
+    tails, heads = graph.edge_index_arrays()
+
+    norm_rb = approximator.estimate(demand)
+    if norm_rb <= 0:
+        return AlmostRouteResult(
+            flow=np.zeros(m),
+            residual=demand.copy(),
+            iterations=0,
+            scalings=0,
+            potential=0.0,
+            delta=0.0,
+            converged=True,
+        )
+    # Line 1: scale so that 2α‖Rb‖∞ = target.
+    kb = 2.0 * alpha * norm_rb / target
+    b = demand / kb
+    f = np.zeros(m)
+    kf = 1.0
+    scalings = 0
+    iterations = 0
+    potential = 0.0
+    delta = float("inf")
+    converged = False
+
+    def evaluate(flow: np.ndarray, b_now: np.ndarray):
+        residual = b_now + graph.excess(flow)
+        phi1, g1 = smax_and_gradient(flow / caps)
+        y = 2.0 * alpha * approximator.apply(residual)
+        phi2, g2 = smax_and_gradient(y)
+        return residual, phi1 + phi2, g1, g2
+
+    while iterations < max_iterations:
+        residual, potential, g1, g2 = evaluate(f, b)
+        # Lines 4–5: keep the soft-max sharp.
+        inner_guard = 0
+        while potential < target and inner_guard < 4096:
+            f *= SCALE_STEP
+            b *= SCALE_STEP
+            kf *= SCALE_STEP
+            scalings += 1
+            inner_guard += 1
+            residual, potential, g1, g2 = evaluate(f, b)
+        # Gradient (Eqs. (3)–(4)).
+        pi = approximator.apply_transpose(g2)
+        grad = g1 / caps + 2.0 * alpha * (pi[heads] - pi[tails])
+        delta = float(np.sum(caps * np.abs(grad)))
+        if delta < eps / 4.0:
+            converged = True
+            break
+        f = f - np.sign(grad) * caps * (delta / (1.0 + 4.0 * alpha**2))
+        iterations += 1
+
+    if not converged and raise_on_budget:
+        raise ConvergenceError(
+            f"AlmostRoute did not converge in {max_iterations} iterations "
+            f"(delta={delta:.3g}, target {eps / 4:.3g})"
+        )
+    unscale = kb / kf
+    flow_out = f * unscale
+    residual_out = demand + graph.excess(flow_out)
+    return AlmostRouteResult(
+        flow=flow_out,
+        residual=residual_out,
+        iterations=iterations,
+        scalings=scalings,
+        potential=potential,
+        delta=delta,
+        converged=converged,
+    )

@@ -1,0 +1,297 @@
+"""Tree-based congestion approximators (paper §§3–4, 9.2).
+
+The approximator R is a stack of row blocks, one per sampled virtual
+tree: row (T, v) measures the *signed* congestion that a demand vector
+forces through the cut induced by T's subtree at v,
+
+    (R b)_{T,v} = ( Σ_{w ∈ T_v} b_w ) / cap_G(δ(T_v)).
+
+Because every tree edge stores the exact capacity of its induced cut in
+G, ``‖Rb‖_∞ ≤ opt(b)`` holds unconditionally (each row is a genuine cut
+of G); sampling O(log n) trees from a Räcke-style distribution bounds
+the other side by α w.h.p. (Lemma 3.3). Matrix-vector products with R
+and Rᵀ are the inner loop of the gradient descent, so both are
+implemented with Euler-tour index arithmetic — O(n) NumPy work per tree
+per product, the centralized mirror of the Õ(√n + D)-round distributed
+convergecast/downcast of Corollary 9.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.mst import maximum_spanning_tree
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
+from repro.jtree.hierarchy import HierarchyParams, sample_virtual_tree
+from repro.jtree.madry import madry_jtree_step
+from repro.lsst.akpw import akpw_spanning_tree
+from repro.util.rng import as_generator, spawn
+
+__all__ = [
+    "TreeOperator",
+    "TreeCongestionApproximator",
+    "build_congestion_approximator",
+    "racke_sample_trees",
+    "estimate_alpha_st",
+]
+
+
+class TreeOperator:
+    """Euler-tour representation of one virtual tree's row block.
+
+    Precomputes a DFS order with entry/exit indices so that
+
+    * subtree sums (the R product) are two cumulative-sum lookups, and
+    * ancestor-path sums (the Rᵀ product) are one range-update pass,
+
+    both fully vectorized.
+    """
+
+    def __init__(self, tree: RootedTree) -> None:
+        self.tree = tree
+        n = tree.num_nodes
+        children = tree.children()
+        order = np.empty(n, dtype=np.int64)
+        tin = np.empty(n, dtype=np.int64)
+        tout = np.empty(n, dtype=np.int64)
+        clock = 0
+        stack: list[tuple[int, bool]] = [(tree.root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                tout[node] = clock
+                continue
+            order[clock] = node
+            tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in children[node]:
+                stack.append((child, False))
+        self.order = order
+        self.tin = tin
+        self.tout = tout
+        # Row book-keeping: one row per non-root node.
+        self.row_nodes = np.array(
+            [v for v in range(n) if tree.parent[v] >= 0], dtype=np.int64
+        )
+        caps = np.asarray(tree.capacity, dtype=float)[self.row_nodes]
+        if np.any(caps <= 0):
+            raise GraphError(
+                "virtual tree has a zero-capacity induced cut; input graph "
+                "must be connected"
+            )
+        self.row_capacity = caps
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_nodes)
+
+    def subtree_sums(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized subtree sums for all row nodes."""
+        prefix = np.concatenate(([0.0], np.cumsum(values[self.order])))
+        return prefix[self.tout[self.row_nodes]] - prefix[self.tin[self.row_nodes]]
+
+    def apply(self, demand: np.ndarray) -> np.ndarray:
+        """One block of R·b: signed cut congestion per tree edge."""
+        return self.subtree_sums(demand) / self.row_capacity
+
+    def apply_transpose(self, row_values: np.ndarray) -> np.ndarray:
+        """One block of Rᵀ·g: node potentials π.
+
+        ``π_v = Σ_{rows (T, w): v ∈ T_w} row_values_row / cap_row`` —
+        each row's weight is spread over its subtree with a range
+        update on the Euler array.
+        """
+        n = self.tree.num_nodes
+        diff = np.zeros(n + 1)
+        weights = row_values / self.row_capacity
+        np.add.at(diff, self.tin[self.row_nodes], weights)
+        np.subtract.at(diff, self.tout[self.row_nodes], weights)
+        return np.cumsum(diff[:-1])[self.tin]
+
+
+@dataclass
+class TreeCongestionApproximator:
+    """An α-congestion approximator made of virtual trees.
+
+    Attributes:
+        graph: The graph the trees approximate.
+        operators: One :class:`TreeOperator` per sampled tree.
+        alpha: The α used by the gradient descent (an upper bound on the
+            worst-case ratio opt(b) / ‖Rb‖_∞; estimated or supplied).
+        method: Which construction produced the trees (diagnostics).
+    """
+
+    graph: Graph
+    operators: list[TreeOperator]
+    alpha: float
+    method: str = "hierarchy"
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.operators)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(op.num_rows for op in self.operators)
+
+    def apply(self, demand: np.ndarray) -> np.ndarray:
+        """Compute R·b (concatenated over trees)."""
+        demand = np.asarray(demand, dtype=float)
+        return np.concatenate([op.apply(demand) for op in self.operators])
+
+    def apply_transpose(self, row_values: np.ndarray) -> np.ndarray:
+        """Compute Rᵀ·g as node potentials."""
+        row_values = np.asarray(row_values, dtype=float)
+        out = np.zeros(self.graph.num_nodes)
+        offset = 0
+        for op in self.operators:
+            block = row_values[offset : offset + op.num_rows]
+            out += op.apply_transpose(block)
+            offset += op.num_rows
+        return out
+
+    def estimate(self, demand: np.ndarray) -> float:
+        """‖Rb‖_∞ — the lower-bound congestion estimate for ``demand``."""
+        return float(np.abs(self.apply(demand)).max(initial=0.0))
+
+    def trees(self) -> list[RootedTree]:
+        return [op.tree for op in self.operators]
+
+
+def racke_sample_trees(
+    graph: Graph,
+    num_trees: int,
+    rng: np.random.Generator | int | None = None,
+    mwu_rounds_per_tree: int = 2,
+) -> list[RootedTree]:
+    """Sample spanning trees from a flat Räcke MWU distribution.
+
+    This is the no-recursion comparator ("mwu" method): iterate the low
+    average-stretch tree construction with multiplicative length
+    updates on overloaded tree edges (§8.2's potential argument applied
+    directly to G), emitting every ``mwu_rounds_per_tree``-th tree.
+    """
+    rng = as_generator(rng)
+    caps = graph.capacities()
+    potentials = np.zeros(graph.num_edges)
+    out: list[RootedTree] = []
+    iteration = 0
+    while len(out) < num_trees:
+        lengths = np.exp(np.minimum(potentials, 40.0)) / caps
+        lsst = akpw_spanning_tree(graph, lengths=lengths, rng=rng)
+        cut_caps = induced_cut_capacities(graph, lsst.tree)
+        rload = np.zeros(graph.num_edges)
+        chosen_by_pair: dict[tuple[int, int], int] = {}
+        for eid in lsst.tree_edges:
+            u, v = graph.endpoints(eid)
+            chosen_by_pair[(min(u, v), max(u, v))] = eid
+        for v in range(graph.num_nodes):
+            p = lsst.tree.parent[v]
+            if p >= 0:
+                eid = chosen_by_pair[(min(v, p), max(v, p))]
+                rload[eid] = cut_caps[v] / caps[eid]
+        r_max = max(float(rload.max()), 1.0)
+        potentials += 0.5 * rload / r_max * np.log(max(graph.num_edges, 2))
+        iteration += 1
+        if iteration % mwu_rounds_per_tree == 0 or len(out) == 0:
+            out.append(RootedTree(lsst.tree.parent, cut_caps))
+    return out[:num_trees]
+
+
+def estimate_alpha_st(
+    graph: Graph,
+    approximator: "TreeCongestionApproximator",
+    rng: np.random.Generator | int | None = None,
+    trials: int = 8,
+    safety: float = 2.0,
+) -> float:
+    """Empirical α estimate from random s-t demands.
+
+    For an s-t demand, opt(b) = value / maxflow(s, t) exactly (max-flow
+    min-cut); the α the descent needs is the worst ratio
+    opt(b)/‖Rb‖_∞ over demands, which we lower-bound on sampled pairs
+    and inflate by ``safety``.
+    """
+    from repro.flow.dinic import dinic_max_flow  # local: avoid cycle
+
+    rng = as_generator(rng)
+    n = graph.num_nodes
+    worst = 1.0
+    for _ in range(trials):
+        s = int(rng.integers(0, n))
+        t = int(rng.integers(0, n))
+        if s == t:
+            continue
+        demand = np.zeros(n)
+        demand[s], demand[t] = 1.0, -1.0
+        opt = 1.0 / dinic_max_flow(graph, s, t).value
+        estimate = approximator.estimate(demand)
+        if estimate > 0:
+            worst = max(worst, opt / estimate)
+    return worst * safety
+
+
+def build_congestion_approximator(
+    graph: Graph,
+    num_trees: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    method: Literal["hierarchy", "mwu", "bfs"] = "hierarchy",
+    alpha: float | None = None,
+    hierarchy_params: HierarchyParams | None = None,
+) -> TreeCongestionApproximator:
+    """Build the congestion approximator R (Theorem 8.10 + Lemma 3.3).
+
+    Args:
+        graph: Connected capacitated graph.
+        num_trees: How many virtual trees to sample; defaults to the
+            O(log n) of Lemma 3.3.
+        rng: Randomness source.
+        method: ``"hierarchy"`` — the paper's recursive j-tree
+            construction; ``"mwu"`` — flat Räcke MWU over spanning
+            trees (ablation); ``"bfs"`` — one BFS tree plus one
+            maximum-capacity spanning tree (naive baseline).
+        alpha: Override for the α the descent uses; estimated from
+            random s-t demands when omitted.
+        hierarchy_params: Tunables for the "hierarchy" method.
+
+    Returns:
+        A :class:`TreeCongestionApproximator`.
+    """
+    graph.require_connected()
+    rng = as_generator(rng)
+    n = graph.num_nodes
+    if num_trees is None:
+        num_trees = max(2, int(np.ceil(np.log2(max(n, 4)))))
+
+    trees: list[RootedTree] = []
+    if method == "hierarchy":
+        for child in spawn(rng, num_trees):
+            sample = sample_virtual_tree(graph, rng=child, params=hierarchy_params)
+            trees.append(sample.tree)
+    elif method == "mwu":
+        trees = racke_sample_trees(graph, num_trees, rng=rng)
+    elif method == "bfs":
+        bfs = bfs_tree(graph, root=0)
+        trees.append(RootedTree(bfs.parent, induced_cut_capacities(graph, bfs)))
+        mst = maximum_spanning_tree(graph)
+        trees.append(RootedTree(mst.parent, induced_cut_capacities(graph, mst)))
+    else:
+        raise GraphError(f"unknown approximator method {method!r}")
+
+    approximator = TreeCongestionApproximator(
+        graph=graph,
+        operators=[TreeOperator(t) for t in trees],
+        alpha=1.0,
+        method=method,
+    )
+    if alpha is None:
+        approximator.alpha = estimate_alpha_st(graph, approximator, rng=rng)
+    else:
+        approximator.alpha = float(alpha)
+    return approximator

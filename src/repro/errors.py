@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or invalid graph queries."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected graph but the input
+    graph is disconnected."""
+
+
+class InvalidDemandError(ReproError):
+    """Raised when a demand vector is malformed (wrong length, does not
+    sum to zero, or has demands on missing nodes)."""
+
+
+class InvalidFlowError(ReproError):
+    """Raised when a flow vector violates capacity or conservation
+    constraints beyond the permitted tolerance."""
+
+
+class CongestModelError(ReproError):
+    """Raised for violations of the CONGEST model's rules, e.g. a node
+    attempting to send a message exceeding the per-edge bit budget."""
+
+
+class MessageTooLargeError(CongestModelError):
+    """Raised when a single message exceeds the per-round per-edge
+    bandwidth budget of the CONGEST model."""
+
+
+class RoundLimitExceededError(CongestModelError):
+    """Raised when a distributed algorithm fails to terminate within the
+    round budget given to the simulator."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative method (gradient descent, multiplicative
+    weights) fails to reach its termination criterion within its
+    iteration budget."""
+
+
+class TreeError(ReproError):
+    """Raised for malformed rooted trees (cycles, orphan nodes, invalid
+    parent pointers)."""

@@ -1,0 +1,20 @@
+"""Classical flow algorithms: exact oracles, baselines, and tree routing."""
+
+from repro.flow.dinic import MaxFlowResult, dinic_max_flow
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
+from repro.flow.push_relabel import push_relabel_max_flow
+from repro.flow.mst import maximum_spanning_tree, minimum_spanning_tree
+from repro.flow.residual import ResidualNetwork
+from repro.flow.gomory_hu import GomoryHuTree, gomory_hu_tree
+
+__all__ = [
+    "MaxFlowResult",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "push_relabel_max_flow",
+    "maximum_spanning_tree",
+    "minimum_spanning_tree",
+    "ResidualNetwork",
+    "GomoryHuTree",
+    "gomory_hu_tree",
+]

@@ -1,0 +1,82 @@
+"""Maximum-weight spanning tree (Algorithm 1, step 5).
+
+The paper routes the leftover demand of the gradient descent over a
+maximum-capacity spanning tree (computed distributedly with
+Kutten–Peleg in Õ(D + √n) rounds; Lemma 9.1). Here we provide the
+centralized Kruskal equivalent; the round cost is charged by
+:mod:`repro.congest.cost`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, spanning_tree_from_edges
+
+__all__ = ["maximum_spanning_tree", "minimum_spanning_tree"]
+
+
+class _DisjointSets:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def _kruskal(graph: Graph, maximize: bool, root: int) -> RootedTree:
+    graph.require_connected()
+    order = sorted(
+        range(graph.num_edges),
+        key=lambda eid: graph.capacity(eid),
+        reverse=maximize,
+    )
+    sets = _DisjointSets(graph.num_nodes)
+    chosen: list[int] = []
+    for eid in order:
+        u, v = graph.endpoints(eid)
+        if sets.union(u, v):
+            chosen.append(eid)
+            if len(chosen) == graph.num_nodes - 1:
+                break
+    tree = spanning_tree_from_edges(graph, chosen, root=root)
+    # Attach capacities to the tree edges: capacity of the graph edge
+    # joining child and parent (max over parallel edges in `chosen`).
+    cap_of_pair: dict[tuple[int, int], float] = {}
+    for eid in chosen:
+        u, v = graph.endpoints(eid)
+        key = (min(u, v), max(u, v))
+        cap_of_pair[key] = max(cap_of_pair.get(key, 0.0), graph.capacity(eid))
+    caps = [0.0] * graph.num_nodes
+    for v in range(graph.num_nodes):
+        p = tree.parent[v]
+        if p >= 0:
+            caps[v] = cap_of_pair[(min(v, p), max(v, p))]
+    return RootedTree(tree.parent, caps)
+
+
+def maximum_spanning_tree(graph: Graph, root: int = 0) -> RootedTree:
+    """Spanning tree maximizing total capacity (and, classically, the
+    bottleneck capacity on every tree path)."""
+    return _kruskal(graph, maximize=True, root=root)
+
+
+def minimum_spanning_tree(graph: Graph, root: int = 0) -> RootedTree:
+    """Spanning tree minimizing total capacity."""
+    return _kruskal(graph, maximize=False, root=root)

@@ -1,0 +1,82 @@
+"""Residual-network representation shared by the exact max-flow
+algorithms (Dinic, Edmonds–Karp, push-relabel).
+
+The undirected input graph is expanded into a directed residual
+network: each undirected edge {u, v} of capacity c becomes a pair of
+arcs u->v and v->u, *each* with capacity c (an undirected edge can
+carry up to c in either direction), plus the usual reverse-arc
+bookkeeping. The final undirected flow on edge e is the net of the two
+directions, so |f_e| <= cap(e) automatically holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["ResidualNetwork"]
+
+
+class ResidualNetwork:
+    """Arc-list residual network built from an undirected graph.
+
+    Arcs are stored in pairs: arc ``2k`` is the forward direction of
+    some (u, v) and arc ``2k + 1`` is its reverse. For an undirected
+    edge of capacity c we create the pair (u->v cap c, v->u cap c); the
+    pair is mutually reverse, which encodes exactly the undirected
+    capacity constraint |net flow| <= c.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        n = graph.num_nodes
+        self.num_nodes = n
+        self.arc_head: list[int] = []
+        self.arc_cap: list[float] = []
+        self.arc_edge: list[int] = []  # originating undirected edge id
+        self.adjacency: list[list[int]] = [[] for _ in range(n)]
+        for e in graph.edges():
+            self._add_arc_pair(e.u, e.v, e.capacity, e.capacity, e.id)
+
+    def _add_arc_pair(
+        self, u: int, v: int, cap_uv: float, cap_vu: float, edge_id: int
+    ) -> None:
+        a = len(self.arc_head)
+        self.arc_head.extend([v, u])
+        self.arc_cap.extend([float(cap_uv), float(cap_vu)])
+        self.arc_edge.extend([edge_id, edge_id])
+        self.adjacency[u].append(a)
+        self.adjacency[v].append(a + 1)
+
+    @staticmethod
+    def reverse(arc: int) -> int:
+        """Return the index of the reverse arc."""
+        return arc ^ 1
+
+    def push(self, arc: int, amount: float) -> None:
+        """Send ``amount`` along ``arc`` (decreasing its residual
+        capacity and increasing the reverse's)."""
+        self.arc_cap[arc] -= amount
+        self.arc_cap[arc ^ 1] += amount
+
+    def residual(self, arc: int) -> float:
+        """Remaining capacity of ``arc``."""
+        return self.arc_cap[arc]
+
+    def net_flow_vector(self) -> np.ndarray:
+        """Recover the undirected flow vector (indexed by graph edge id,
+        positive in the fixed u->v orientation) from residual state.
+
+        For the arc pair of edge e with original capacity c: flow in the
+        forward direction is c - residual(forward). Net signed flow is
+        (c - r_fwd) - (c - r_rev) all divided by 2? No — both directions
+        start at capacity c; pushing x along u->v leaves r_fwd = c - x,
+        r_rev = c + x, so net = (r_rev - r_fwd) / 2 = x.
+        """
+        flow = np.zeros(self.graph.num_edges)
+        for pair in range(self.graph.num_edges):
+            fwd = 2 * pair
+            rev = fwd + 1
+            flow[pair] = (self.arc_cap[rev] - self.arc_cap[fwd]) / 2.0
+        return flow

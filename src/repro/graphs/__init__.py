@@ -1,0 +1,43 @@
+"""Graph substrate: multigraphs, generators, cuts, and rooted trees."""
+
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.trees import (
+    RootedTree,
+    average_stretch,
+    bfs_tree,
+    induced_cut_capacities,
+    spanning_tree_from_edges,
+    tree_route_demand,
+    weighted_average_stretch,
+)
+from repro.graphs.io import read_dimacs, read_json, write_dimacs, write_json
+from repro.graphs.cuts import (
+    cut_capacity,
+    cut_congestion_lower_bound,
+    cut_demand,
+    cut_edges,
+    enumerate_cut_capacities,
+    sparsest_cut_brute_force,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "RootedTree",
+    "average_stretch",
+    "bfs_tree",
+    "induced_cut_capacities",
+    "spanning_tree_from_edges",
+    "tree_route_demand",
+    "weighted_average_stretch",
+    "cut_capacity",
+    "cut_congestion_lower_bound",
+    "cut_demand",
+    "cut_edges",
+    "enumerate_cut_capacities",
+    "sparsest_cut_brute_force",
+    "read_dimacs",
+    "read_json",
+    "write_dimacs",
+    "write_json",
+]

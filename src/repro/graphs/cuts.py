@@ -1,0 +1,118 @@
+"""Cut utilities.
+
+Cuts are the currency of the paper: the congestion approximator's rows
+are cuts, its quality is stated in terms of cut capacities, and the
+max-flow min-cut theorem converts congestion bounds into flow bounds.
+This module provides exact cut evaluation on node sets, demand-aware
+cut congestion, and brute-force enumeration for small graphs (used by
+tests to certify approximator soundness).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "cut_capacity",
+    "cut_edges",
+    "cut_demand",
+    "cut_congestion_lower_bound",
+    "enumerate_cut_capacities",
+    "sparsest_cut_brute_force",
+]
+
+
+def _side_mask(graph: Graph, side: Iterable[int]) -> np.ndarray:
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    for v in side:
+        if not (0 <= v < graph.num_nodes):
+            raise GraphError(f"cut side contains invalid node {v}")
+        mask[v] = True
+    if not mask.any() or mask.all():
+        raise GraphError("cut side must be a proper non-empty subset of nodes")
+    return mask
+
+
+def cut_edges(graph: Graph, side: Iterable[int]) -> list[int]:
+    """Return the edge ids crossing the cut ``(side, complement)``."""
+    mask = _side_mask(graph, side)
+    return [e.id for e in graph.edges() if mask[e.u] != mask[e.v]]
+
+
+def cut_capacity(graph: Graph, side: Iterable[int]) -> float:
+    """Total capacity of edges crossing the cut ``(side, complement)``."""
+    mask = _side_mask(graph, side)
+    return float(
+        sum(e.capacity for e in graph.edges() if mask[e.u] != mask[e.v])
+    )
+
+
+def cut_demand(demand: Sequence[float], side: Iterable[int]) -> float:
+    """Net demand that must cross the cut: ``|Σ_{v in side} b_v|``."""
+    demand = np.asarray(demand, dtype=float)
+    side_list = list(side)
+    return float(abs(demand[side_list].sum()))
+
+
+def cut_congestion_lower_bound(
+    graph: Graph, demand: Sequence[float], side: Iterable[int]
+) -> float:
+    """The congestion any feasible routing of ``demand`` must put on this
+    cut: net crossing demand divided by cut capacity. The max over all
+    cuts equals opt(b) by LP duality (the paper's congestion view of
+    max-flow min-cut)."""
+    side_list = list(side)
+    capacity = cut_capacity(graph, side_list)
+    crossing = cut_demand(demand, side_list)
+    if capacity == 0:
+        return float("inf") if crossing > 0 else 0.0
+    return crossing / capacity
+
+
+def enumerate_cut_capacities(
+    graph: Graph, max_nodes: int = 18
+) -> list[tuple[frozenset[int], float]]:
+    """Enumerate all 2^(n-1) - 1 proper cuts (sides containing node 0)
+    with their capacities. Exponential; guarded by ``max_nodes``."""
+    n = graph.num_nodes
+    if n > max_nodes:
+        raise GraphError(
+            f"cut enumeration limited to {max_nodes} nodes, graph has {n}"
+        )
+    others = list(range(1, n))
+    out: list[tuple[frozenset[int], float]] = []
+    for size in range(0, n - 1):
+        for rest in combinations(others, size):
+            side = frozenset((0, *rest))
+            out.append((side, cut_capacity(graph, side)))
+    return out
+
+
+def sparsest_cut_brute_force(
+    graph: Graph, demand: Sequence[float], max_nodes: int = 18
+) -> tuple[frozenset[int], float]:
+    """Return the most congested cut for ``demand`` by enumeration:
+    ``argmax over cuts of crossing_demand / capacity``. This equals
+    opt(b) exactly on small graphs and is the test oracle for
+    congestion-approximator quality."""
+    demand = np.asarray(demand, dtype=float)
+    best_side: frozenset[int] | None = None
+    best_value = -1.0
+    for side, capacity in enumerate_cut_capacities(graph, max_nodes):
+        crossing = cut_demand(demand, side)
+        value = (
+            float("inf")
+            if capacity == 0 and crossing > 0
+            else (crossing / capacity if capacity > 0 else 0.0)
+        )
+        if value > best_value:
+            best_value = value
+            best_side = side
+    assert best_side is not None
+    return best_side, best_value

@@ -1,0 +1,352 @@
+"""Workload generators.
+
+The paper has no benchmark suite of its own, so these generators supply
+the synthetic workloads used by the test suite, the examples, and the
+experiment harness (EXPERIMENTS.md). They cover the regimes the paper's
+analysis distinguishes:
+
+* low-diameter dense graphs (Erdős–Rényi, complete, expanders) where
+  the `√n` term dominates the round complexity,
+* high-diameter sparse graphs (paths, grids, tori, caterpillars) where
+  `D` dominates,
+* structured worst cases for specific components (barbells for min-cut
+  bottlenecks, hard instances for push-relabel).
+
+All generators take a seeded :class:`numpy.random.Generator` (or seed)
+so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+__all__ = [
+    "erdos_renyi",
+    "random_connected",
+    "grid",
+    "torus",
+    "path",
+    "cycle",
+    "complete",
+    "star",
+    "barbell",
+    "caterpillar",
+    "hypercube",
+    "random_regular_expander",
+    "random_geometric",
+    "weighted_variant",
+    "push_relabel_hard_instance",
+]
+
+
+def _random_capacity(rng: np.random.Generator, max_capacity: float) -> float:
+    """Draw an integer capacity in [1, max_capacity] (paper: cap ∈ poly n)."""
+    return float(rng.integers(1, int(max_capacity) + 1))
+
+
+def erdos_renyi(
+    num_nodes: int,
+    edge_probability: float,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """G(n, p) with integer capacities; no connectivity guarantee."""
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def random_connected(
+    num_nodes: int,
+    extra_edge_probability: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A connected random graph: a random spanning tree (random Prüfer-
+    style attachment) plus independent extra edges with probability
+    ``extra_edge_probability``."""
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    order = rng.permutation(num_nodes)
+    for i in range(1, num_nodes):
+        parent = order[rng.integers(0, i)]
+        graph.add_edge(int(order[i]), int(parent), _random_capacity(rng, max_capacity))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < extra_edge_probability:
+                graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def grid(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+    uniform_capacity: float | None = None,
+) -> Graph:
+    """A rows×cols grid; node ``(r, c)`` has id ``r * cols + c``."""
+    rng = as_generator(rng)
+    graph = Graph(rows * cols)
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            cap = (
+                uniform_capacity
+                if uniform_capacity is not None
+                else _random_capacity(rng, max_capacity)
+            )
+            if c + 1 < cols:
+                graph.add_edge(nid(r, c), nid(r, c + 1), cap)
+            cap = (
+                uniform_capacity
+                if uniform_capacity is not None
+                else _random_capacity(rng, max_capacity)
+            )
+            if r + 1 < rows:
+                graph.add_edge(nid(r, c), nid(r + 1, c), cap)
+    return graph
+
+
+def torus(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A rows×cols torus (grid with wraparound edges)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus requires rows, cols >= 3 to avoid parallel edges")
+    rng = as_generator(rng)
+    graph = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_edge(
+                r * cols + c,
+                r * cols + (c + 1) % cols,
+                _random_capacity(rng, max_capacity),
+            )
+            graph.add_edge(
+                r * cols + c,
+                ((r + 1) % rows) * cols + c,
+                _random_capacity(rng, max_capacity),
+            )
+    return graph
+
+
+def path(
+    num_nodes: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A path 0 - 1 - ... - (n-1); the maximum-diameter workload."""
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    for v in range(num_nodes - 1):
+        graph.add_edge(v, v + 1, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def cycle(
+    num_nodes: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A cycle on ``num_nodes >= 3`` nodes."""
+    if num_nodes < 3:
+        raise GraphError("cycle requires at least 3 nodes")
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    for v in range(num_nodes):
+        graph.add_edge(v, (v + 1) % num_nodes, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def complete(
+    num_nodes: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """The complete graph K_n; the densest workload (sparsifier target)."""
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def star(
+    num_leaves: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A star with center 0 and ``num_leaves`` leaves."""
+    rng = as_generator(rng)
+    graph = Graph(num_leaves + 1)
+    for v in range(1, num_leaves + 1):
+        graph.add_edge(0, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def barbell(
+    clique_size: int,
+    bridge_length: int = 1,
+    bridge_capacity: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """Two cliques joined by a low-capacity path: the canonical min-cut
+    bottleneck instance. The bridge is the unique min s-t cut for s in
+    one clique and t in the other."""
+    rng = as_generator(rng)
+    n = 2 * clique_size + max(0, bridge_length - 1)
+    graph = Graph(n)
+    left = range(clique_size)
+    right = range(clique_size, 2 * clique_size)
+    for group in (left, right):
+        group = list(group)
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    chain = [0] + [2 * clique_size + i for i in range(bridge_length - 1)] + [
+        clique_size
+    ]
+    for a, b in zip(chain, chain[1:]):
+        graph.add_edge(a, b, bridge_capacity)
+    return graph
+
+
+def caterpillar(
+    spine_length: int,
+    legs_per_node: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A caterpillar tree: a path spine with pendant legs. High diameter
+    and many leaves — a stress case for tree decompositions."""
+    rng = as_generator(rng)
+    n = spine_length * (1 + legs_per_node)
+    graph = Graph(n)
+    for i in range(spine_length - 1):
+        graph.add_edge(i, i + 1, _random_capacity(rng, max_capacity))
+    next_id = spine_length
+    for i in range(spine_length):
+        for _ in range(legs_per_node):
+            graph.add_edge(i, next_id, _random_capacity(rng, max_capacity))
+            next_id += 1
+    return graph
+
+
+def hypercube(
+    dimension: int,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """The ``dimension``-dimensional hypercube (n = 2^d, D = d)."""
+    rng = as_generator(rng)
+    n = 1 << dimension
+    graph = Graph(n)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                graph.add_edge(v, u, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def random_regular_expander(
+    num_nodes: int,
+    degree: int = 6,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A union of ``degree / 2`` random Hamiltonian cycles — a standard
+    construction that is an expander with high probability. Low
+    diameter, so the `√n` round term dominates."""
+    if degree % 2 != 0 or degree < 2:
+        raise GraphError("degree must be a positive even number")
+    rng = as_generator(rng)
+    graph = Graph(num_nodes)
+    existing: set[tuple[int, int]] = set()
+    for _ in range(degree // 2):
+        perm = rng.permutation(num_nodes)
+        for i in range(num_nodes):
+            u = int(perm[i])
+            v = int(perm[(i + 1) % num_nodes])
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in existing:
+                continue
+            existing.add(key)
+            graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def random_geometric(
+    num_nodes: int,
+    radius: float | None = None,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """Random geometric graph on the unit square. If ``radius`` is None
+    it is set just above the connectivity threshold
+    ``sqrt(2 ln n / n)``. Models spatial/mesh networks with moderate
+    diameter."""
+    rng = as_generator(rng)
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(num_nodes, 2)) / num_nodes)
+    points = rng.random((num_nodes, 2))
+    graph = Graph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if np.linalg.norm(points[u] - points[v]) <= radius:
+                graph.add_edge(u, v, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def weighted_variant(
+    graph: Graph,
+    spread: float,
+    rng: np.random.Generator | int | None = None,
+) -> Graph:
+    """Return a copy of ``graph`` with capacities resampled log-uniformly
+    from ``[1, spread]`` — used to exercise the weighted-stretch and
+    capacity-ratio (`log C`) behaviour the paper's footnote 1 covers."""
+    if spread < 1:
+        raise GraphError("spread must be >= 1")
+    rng = as_generator(rng)
+    out = Graph(graph.num_nodes)
+    for e in graph.edges():
+        cap = math.exp(rng.uniform(0.0, math.log(spread)))
+        out.add_edge(e.u, e.v, max(1.0, round(cap)))
+    return out
+
+
+def push_relabel_hard_instance(levels: int) -> Graph:
+    """A layered instance on which push-relabel needs many rounds:
+    a long path of unit-capacity edges with one wide source gadget.
+    Excess must trickle down the path one relabel at a time, producing
+    the Θ(n²)-ish round behaviour the paper cites as motivation."""
+    if levels < 2:
+        raise GraphError("levels must be >= 2")
+    # Node 0 = source hub, nodes 1..levels = path, last node = sink.
+    graph = Graph(levels + 1)
+    graph.add_edge(0, 1, float(levels))
+    for v in range(1, levels):
+        graph.add_edge(v, v + 1, 1.0)
+    return graph

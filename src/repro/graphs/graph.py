@@ -1,0 +1,373 @@
+"""Core graph substrate: an undirected, weighted multigraph.
+
+The whole library works on a single concrete representation:
+
+* nodes are integers ``0 .. n-1``;
+* edges are stored in insertion order in parallel arrays
+  (``edge_u``, ``edge_v``, ``capacity``), so an edge is referred to by
+  its integer *edge id* everywhere (flows are vectors indexed by edge
+  id, matching the paper's ``f ∈ R^E``);
+* parallel edges and general positive real capacities are allowed
+  (Madry's construction and contractions naturally produce
+  multigraphs);
+* every edge has a fixed orientation ``u -> v`` (the paper fixes an
+  arbitrary orientation to define signs of flow values).
+
+The class is deliberately plain — adjacency is a list of
+``(neighbor, edge_id)`` pairs — because the algorithms in this library
+walk adjacency lists far more than they do linear algebra. NumPy views
+of the parallel arrays are exposed for the gradient-descent core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError
+
+__all__ = ["Edge", "Graph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single undirected edge with a fixed orientation ``u -> v``.
+
+    Attributes:
+        id: Integer edge id (index into the graph's edge arrays).
+        u: Tail endpoint under the fixed orientation.
+        v: Head endpoint under the fixed orientation.
+        capacity: Positive capacity (the paper's ``cap(e)``).
+    """
+
+    id: int
+    u: int
+    v: int
+    capacity: float
+
+    def other(self, node: int) -> int:
+        """Return the endpoint of this edge that is not ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise GraphError(f"node {node} is not an endpoint of edge {self.id}")
+
+
+class Graph:
+    """Undirected weighted multigraph on nodes ``0 .. n-1``.
+
+    Args:
+        num_nodes: Number of nodes.
+        edges: Iterable of ``(u, v, capacity)`` triples. Self-loops are
+            rejected; parallel edges are kept as distinct edges.
+
+    Raises:
+        GraphError: On out-of-range endpoints, self-loops, or
+            non-positive capacities.
+    """
+
+    def __init__(
+        self, num_nodes: int, edges: Iterable[tuple[int, int, float]] = ()
+    ) -> None:
+        if num_nodes <= 0:
+            raise GraphError(f"graph must have at least one node, got {num_nodes}")
+        self._n = int(num_nodes)
+        self._edge_u: list[int] = []
+        self._edge_v: list[int] = []
+        self._capacity: list[float] = []
+        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(self._n)]
+        for u, v, cap in edges:
+            self.add_edge(u, v, cap)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add an edge ``u -> v`` and return its edge id."""
+        u = int(u)
+        v = int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise GraphError(
+                f"edge ({u}, {v}) has an endpoint outside 0..{self._n - 1}"
+            )
+        if u == v:
+            raise GraphError(f"self-loop at node {u} is not allowed")
+        cap = float(capacity)
+        if not cap > 0 or not np.isfinite(cap):
+            raise GraphError(f"edge ({u}, {v}) has non-positive capacity {capacity}")
+        eid = len(self._edge_u)
+        self._edge_u.append(u)
+        self._edge_v.append(v)
+        self._capacity.append(cap)
+        self._adj[u].append((v, eid))
+        self._adj[v].append((u, eid))
+        return eid
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_nodes: int,
+        edge_u: Sequence[int],
+        edge_v: Sequence[int],
+        capacity: Sequence[float],
+    ) -> "Graph":
+        """Build a graph from parallel edge arrays."""
+        if not (len(edge_u) == len(edge_v) == len(capacity)):
+            raise GraphError("edge arrays must have equal length")
+        return cls(num_nodes, zip(edge_u, edge_v, capacity))
+
+    def copy(self) -> "Graph":
+        """Return a deep copy (edge ids are preserved)."""
+        return Graph.from_edge_arrays(
+            self._n, self._edge_u, self._edge_v, self._capacity
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m`` (parallel edges counted separately)."""
+        return len(self._edge_u)
+
+    def nodes(self) -> range:
+        """Iterate over node ids."""
+        return range(self._n)
+
+    def edge(self, eid: int) -> Edge:
+        """Return the :class:`Edge` with the given id."""
+        if not (0 <= eid < self.num_edges):
+            raise GraphError(f"edge id {eid} out of range")
+        return Edge(eid, self._edge_u[eid], self._edge_v[eid], self._capacity[eid])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in id order."""
+        for eid in range(self.num_edges):
+            yield self.edge(eid)
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        """Return ``(u, v)`` for edge ``eid`` under the fixed orientation."""
+        return self._edge_u[eid], self._edge_v[eid]
+
+    def capacity(self, eid: int) -> float:
+        """Return the capacity of edge ``eid``."""
+        return self._capacity[eid]
+
+    def set_capacity(self, eid: int, capacity: float) -> None:
+        """Overwrite the capacity of edge ``eid``."""
+        cap = float(capacity)
+        if not cap > 0 or not np.isfinite(cap):
+            raise GraphError(f"capacity must be positive, got {capacity}")
+        self._capacity[eid] = cap
+
+    def neighbors(self, node: int) -> list[tuple[int, int]]:
+        """Return the adjacency list of ``node`` as ``(neighbor, edge_id)``
+        pairs, in edge-insertion order. Parallel edges appear once per
+        edge."""
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        """Return the degree of ``node`` (parallel edges all counted)."""
+        return len(self._adj[node])
+
+    def capacities(self) -> np.ndarray:
+        """Return the capacity vector as a float array of length m."""
+        return np.asarray(self._capacity, dtype=float)
+
+    def edge_index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(tails, heads)`` integer arrays of length m."""
+        return (
+            np.asarray(self._edge_u, dtype=np.int64),
+            np.asarray(self._edge_v, dtype=np.int64),
+        )
+
+    def total_capacity(self) -> float:
+        """Return the sum of all edge capacities."""
+        return float(sum(self._capacity))
+
+    # ------------------------------------------------------------------
+    # Flow-operator views (the paper's B and C matrices, matrix-free)
+    # ------------------------------------------------------------------
+    def excess(self, flow: np.ndarray) -> np.ndarray:
+        """Apply the node-edge incidence operator: return ``B f``.
+
+        ``(B f)_v`` is the net flow *into* node ``v``: an edge
+        ``u -> v`` carrying positive flow contributes ``+f_e`` at ``v``
+        and ``-f_e`` at ``u`` (paper Section 2).
+        """
+        flow = np.asarray(flow, dtype=float)
+        if flow.shape != (self.num_edges,):
+            raise GraphError(
+                f"flow vector has shape {flow.shape}, expected ({self.num_edges},)"
+            )
+        excess = np.zeros(self._n)
+        tails, heads = self.edge_index_arrays()
+        np.add.at(excess, heads, flow)
+        np.subtract.at(excess, tails, flow)
+        return excess
+
+    def congestion(self, flow: np.ndarray) -> np.ndarray:
+        """Return per-edge congestion ``|C^{-1} f| = |f_e| / cap(e)``."""
+        flow = np.asarray(flow, dtype=float)
+        return np.abs(flow) / self.capacities()
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[list[int]]:
+        """Return connected components as lists of nodes."""
+        seen = [False] * self._n
+        components: list[list[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            component = [start]
+            seen[start] = True
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for neighbor, _ in self._adj[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        component.append(neighbor)
+                        queue.append(neighbor)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """Return True iff the graph is connected."""
+        return len(self.connected_components()) == 1
+
+    def require_connected(self) -> None:
+        """Raise :class:`DisconnectedGraphError` unless connected."""
+        if not self.is_connected():
+            raise DisconnectedGraphError(
+                "operation requires a connected graph but the graph has "
+                f"{len(self.connected_components())} components"
+            )
+
+    def bfs_distances(self, source: int) -> list[int]:
+        """Return hop distances from ``source`` (-1 for unreachable)."""
+        dist = [-1] * self._n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor, _ in self._adj[node]:
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+        return dist
+
+    def diameter(self) -> int:
+        """Return the exact hop diameter (BFS from every node).
+
+        Quadratic; intended for the test/benchmark graph sizes used in
+        this library.
+        """
+        self.require_connected()
+        best = 0
+        for source in range(self._n):
+            best = max(best, max(self.bfs_distances(source)))
+        return best
+
+    def eccentricity(self, source: int) -> int:
+        """Return the maximum hop distance from ``source``."""
+        dist = self.bfs_distances(source)
+        if min(dist) < 0:
+            raise DisconnectedGraphError("eccentricity undefined: graph disconnected")
+        return max(dist)
+
+    # ------------------------------------------------------------------
+    # Contraction (used by AKPW and the j-tree hierarchy)
+    # ------------------------------------------------------------------
+    def contract(
+        self, labels: Sequence[int], keep_parallel: bool = True
+    ) -> tuple["Graph", list[int]]:
+        """Contract nodes by label, returning the quotient multigraph.
+
+        Args:
+            labels: ``labels[v]`` is the cluster label of node ``v``.
+                Labels may be arbitrary integers; they are compacted to
+                ``0 .. k-1`` in label-of-first-occurrence order.
+            keep_parallel: If True, every original inter-cluster edge
+                becomes its own edge of the quotient (a multigraph). If
+                False, parallel edges are merged and capacities summed.
+
+        Returns:
+            ``(quotient, edge_origin)`` where ``edge_origin[j]`` is the
+            original edge id that quotient edge ``j`` came from (for the
+            merged case, a representative original id).
+        """
+        if len(labels) != self._n:
+            raise GraphError("labels must have one entry per node")
+        compact: dict[int, int] = {}
+        node_map = []
+        for v in range(self._n):
+            label = labels[v]
+            if label not in compact:
+                compact[label] = len(compact)
+            node_map.append(compact[label])
+        k = len(compact)
+        quotient = Graph(k)
+        edge_origin: list[int] = []
+        if keep_parallel:
+            for eid in range(self.num_edges):
+                cu = node_map[self._edge_u[eid]]
+                cv = node_map[self._edge_v[eid]]
+                if cu != cv:
+                    quotient.add_edge(cu, cv, self._capacity[eid])
+                    edge_origin.append(eid)
+        else:
+            merged: dict[tuple[int, int], int] = {}
+            for eid in range(self.num_edges):
+                cu = node_map[self._edge_u[eid]]
+                cv = node_map[self._edge_v[eid]]
+                if cu == cv:
+                    continue
+                key = (min(cu, cv), max(cu, cv))
+                if key in merged:
+                    j = merged[key]
+                    quotient.set_capacity(
+                        j, quotient.capacity(j) + self._capacity[eid]
+                    )
+                else:
+                    j = quotient.add_edge(key[0], key[1], self._capacity[eid])
+                    merged[key] = j
+                    edge_origin.append(eid)
+        return quotient, edge_origin
+
+    def node_map_after_contract(self, labels: Sequence[int]) -> list[int]:
+        """Return the compacted node map used by :meth:`contract`."""
+        compact: dict[int, int] = {}
+        node_map = []
+        for v in range(self._n):
+            label = labels[v]
+            if label not in compact:
+                compact[label] = len(compact)
+            node_map.append(compact[label])
+        return node_map
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def edge_subgraph(self, edge_ids: Iterable[int]) -> "Graph":
+        """Return a graph on the same node set containing only the given
+        edges (edge ids are *not* preserved)."""
+        sub = Graph(self._n)
+        for eid in edge_ids:
+            u, v = self.endpoints(eid)
+            sub.add_edge(u, v, self._capacity[eid])
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self.num_edges})"

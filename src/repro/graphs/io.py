@@ -1,0 +1,109 @@
+"""Graph serialization: DIMACS max-flow format and JSON edge lists.
+
+DIMACS is the de-facto interchange format for max-flow instances
+(``p max <n> <m>`` header, ``a <u> <v> <cap>`` arcs, 1-indexed); the
+reader folds arc pairs of a directed instance into undirected edges by
+summing the two directions' capacities — matching the library's
+undirected model. JSON is the friendlier format for small configs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "write_dimacs",
+    "read_dimacs",
+    "write_json",
+    "read_json",
+]
+
+
+def write_dimacs(
+    graph: Graph, path: str | Path, source: int = 0, sink: int | None = None
+) -> None:
+    """Write a DIMACS max-flow file (1-indexed nodes)."""
+    sink = graph.num_nodes - 1 if sink is None else sink
+    lines = [
+        "c repro: undirected max-flow instance",
+        f"p max {graph.num_nodes} {graph.num_edges}",
+        f"n {source + 1} s",
+        f"n {sink + 1} t",
+    ]
+    for e in graph.edges():
+        cap = int(e.capacity) if e.capacity == int(e.capacity) else e.capacity
+        lines.append(f"a {e.u + 1} {e.v + 1} {cap}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_dimacs(path: str | Path) -> tuple[Graph, int, int]:
+    """Read a DIMACS max-flow file.
+
+    Returns:
+        ``(graph, source, sink)``. Directed arc pairs (u→v and v→u) are
+        merged into one undirected edge with summed capacity; repeated
+        identical arcs stay parallel edges.
+
+    Raises:
+        GraphError: On malformed content.
+    """
+    num_nodes = None
+    source = sink = None
+    arcs: dict[tuple[int, int], float] = {}
+    order: list[tuple[int, int]] = []
+    for line_number, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] != "max":
+                raise GraphError(f"line {line_number}: bad problem line")
+            num_nodes = int(parts[2])
+        elif parts[0] == "n":
+            if parts[2] == "s":
+                source = int(parts[1]) - 1
+            elif parts[2] == "t":
+                sink = int(parts[1]) - 1
+        elif parts[0] == "a":
+            u, v, cap = int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in arcs:
+                arcs[key] += cap  # fold reverse direction / duplicates
+            else:
+                arcs[key] = cap
+                order.append(key)
+        else:
+            raise GraphError(f"line {line_number}: unknown record {parts[0]!r}")
+    if num_nodes is None:
+        raise GraphError("missing problem line")
+    if source is None or sink is None:
+        raise GraphError("missing source/sink designators")
+    graph = Graph(num_nodes)
+    for key in order:
+        graph.add_edge(key[0], key[1], arcs[key])
+    return graph, source, sink
+
+
+def write_json(graph: Graph, path: str | Path) -> None:
+    """Write the graph as a JSON object {num_nodes, edges:[[u,v,cap]]}."""
+    payload = {
+        "num_nodes": graph.num_nodes,
+        "edges": [[e.u, e.v, e.capacity] for e in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: str | Path) -> Graph:
+    """Read a graph written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text())
+    try:
+        return Graph(payload["num_nodes"], payload["edges"])
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph JSON: {exc}") from exc

@@ -1,0 +1,375 @@
+"""Rooted spanning trees and tree routing.
+
+Trees are the load-bearing structure of the whole paper: the congestion
+approximator is a set of rooted trees, `R·b` is a subtree aggregation,
+`Rᵀ·y` is a root-to-leaf prefix sum of edge prices, and the final
+residual demand of Algorithm 1 is routed on a maximum-weight spanning
+tree. This module implements all of those tree operations centrally
+(each corresponds to the distributed convergecast/downcast the paper
+performs on the virtual trees, cf. Section 9 and Corollary 9.3).
+
+A :class:`RootedTree` is a parent-pointer array over nodes ``0..n-1``
+with per-edge capacities on the (child -> parent) edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "RootedTree",
+    "spanning_tree_from_edges",
+    "bfs_tree",
+    "tree_route_demand",
+    "induced_cut_capacities",
+    "average_stretch",
+    "weighted_average_stretch",
+]
+
+
+class RootedTree:
+    """A rooted tree on nodes ``0 .. n-1`` stored as a parent array.
+
+    Attributes:
+        parent: ``parent[v]`` is the parent of ``v``; ``parent[root]``
+            is ``-1``.
+        root: The root node.
+        capacity: ``capacity[v]`` is the capacity of the edge
+            ``(v, parent[v])``; ``capacity[root]`` is ignored (0).
+
+    The class precomputes a topological order (root first) so subtree
+    aggregations and root-to-leaf scans are single passes.
+    """
+
+    def __init__(
+        self,
+        parent: Sequence[int],
+        capacity: Sequence[float] | None = None,
+    ) -> None:
+        self.parent = [int(p) for p in parent]
+        n = len(self.parent)
+        roots = [v for v, p in enumerate(self.parent) if p < 0]
+        if len(roots) != 1:
+            raise TreeError(f"tree must have exactly one root, found {len(roots)}")
+        self.root = roots[0]
+        for v, p in enumerate(self.parent):
+            if p >= n:
+                raise TreeError(f"parent[{v}] = {p} out of range")
+        if capacity is None:
+            self.capacity = np.zeros(n)
+        else:
+            if len(capacity) != n:
+                raise TreeError("capacity array must have one entry per node")
+            self.capacity = np.asarray(capacity, dtype=float).copy()
+        self.capacity[self.root] = 0.0
+        self._order = self._topological_order()
+        self._depth = self._compute_depths()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    def _topological_order(self) -> list[int]:
+        """Return nodes in root-first order; validates acyclicity."""
+        n = self.num_nodes
+        children: list[list[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(self.parent):
+            if p >= 0:
+                children[p].append(v)
+        order: list[int] = []
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            queue.extend(children[node])
+        if len(order) != n:
+            raise TreeError(
+                "parent pointers contain a cycle or unreachable nodes "
+                f"({len(order)} of {n} reachable from root)"
+            )
+        return order
+
+    def _compute_depths(self) -> list[int]:
+        depth = [0] * self.num_nodes
+        for v in self._order:
+            if self.parent[v] >= 0:
+                depth[v] = depth[self.parent[v]] + 1
+        return depth
+
+    def topological_order(self) -> list[int]:
+        """Nodes in root-first (BFS) order."""
+        return list(self._order)
+
+    def depth(self, node: int) -> int:
+        """Hop depth of ``node`` below the root."""
+        return self._depth[node]
+
+    def height(self) -> int:
+        """Maximum depth over all nodes."""
+        return max(self._depth)
+
+    def children(self) -> list[list[int]]:
+        """Return the child lists of every node."""
+        out: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for v, p in enumerate(self.parent):
+            if p >= 0:
+                out[p].append(v)
+        return out
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Return the node sequence from ``node`` up to and including the
+        root."""
+        path = [node]
+        while self.parent[path[-1]] >= 0:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor by depth-equalizing walk (O(depth))."""
+        while self._depth[u] > self._depth[v]:
+            u = self.parent[u]
+        while self._depth[v] > self._depth[u]:
+            v = self.parent[v]
+        while u != v:
+            u = self.parent[u]
+            v = self.parent[v]
+        return u
+
+    def path_length(
+        self, u: int, v: int, edge_length: Sequence[float] | None = None
+    ) -> float:
+        """Length of the unique u-v tree path. ``edge_length[w]`` is the
+        length of edge (w, parent[w]); hop count if omitted."""
+        ancestor = self.lca(u, v)
+        total = 0.0
+        for start in (u, v):
+            node = start
+            while node != ancestor:
+                total += 1.0 if edge_length is None else float(edge_length[node])
+                node = self.parent[node]
+        return total
+
+    # ------------------------------------------------------------------
+    # Aggregations (the paper's convergecast / downcast)
+    # ------------------------------------------------------------------
+    def subtree_sums(self, values: Sequence[float]) -> np.ndarray:
+        """Return, for every node v, the sum of ``values`` over the
+        subtree rooted at v (a convergecast)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.num_nodes,):
+            raise TreeError("values must have one entry per node")
+        sums = values.copy()
+        for v in reversed(self._order):
+            p = self.parent[v]
+            if p >= 0:
+                sums[p] += sums[v]
+        return sums
+
+    def prefix_sums_from_root(self, edge_values: Sequence[float]) -> np.ndarray:
+        """Return, for every node v, the sum of ``edge_values[w]`` over
+        the edges (w, parent[w]) on the root-to-v path (a downcast).
+
+        This is exactly the node-potential computation π_v of Section
+        9.1: with ``edge_values`` = edge prices, the result is the
+        per-tree contribution to π."""
+        edge_values = np.asarray(edge_values, dtype=float)
+        if edge_values.shape != (self.num_nodes,):
+            raise TreeError("edge_values must have one entry per node")
+        out = np.zeros(self.num_nodes)
+        for v in self._order:
+            p = self.parent[v]
+            if p >= 0:
+                out[v] = out[p] + edge_values[v]
+        out[self.root] = 0.0
+        return out
+
+    def edge_flows_for_demand(self, demand: Sequence[float]) -> np.ndarray:
+        """Route a demand vector on the tree; return per-edge signed flow.
+
+        ``result[v]`` is the flow on edge (v, parent[v]), positive when
+        flow moves from v toward the parent. Routing on a tree is
+        unique: the flow out of subtree T_v equals the total demand
+        inside T_v (paper Section 2, "routing flows on trees is
+        trivial")."""
+        demand = np.asarray(demand, dtype=float)
+        flows = self.subtree_sums(demand)
+        flows[self.root] = 0.0
+        return flows
+
+    def congestion_for_demand(self, demand: Sequence[float]) -> np.ndarray:
+        """Per-edge congestion |flow| / capacity when routing ``demand``
+        on the tree. This is one block of rows of the R operator."""
+        flows = self.edge_flows_for_demand(demand)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            congestion = np.abs(flows) / self.capacity
+        congestion[self.root] = 0.0
+        congestion[~np.isfinite(congestion)] = 0.0
+        return congestion
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_graph(self) -> Graph:
+        """Return the tree as a :class:`Graph` (edge (v, parent[v]) gets
+        edge id ordering by child node)."""
+        graph = Graph(self.num_nodes)
+        for v in range(self.num_nodes):
+            if self.parent[v] >= 0:
+                cap = float(self.capacity[v]) if self.capacity[v] > 0 else 1.0
+                graph.add_edge(v, self.parent[v], cap)
+        return graph
+
+
+def bfs_tree(graph: Graph, root: int = 0) -> RootedTree:
+    """Breadth-first spanning tree of a connected graph."""
+    graph.require_connected()
+    parent = [-2] * graph.num_nodes
+    parent[root] = -1
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor, _ in graph.neighbors(node):
+            if parent[neighbor] == -2:
+                parent[neighbor] = node
+                queue.append(neighbor)
+    return RootedTree(parent)
+
+
+def spanning_tree_from_edges(
+    graph: Graph, edge_ids: Iterable[int], root: int = 0
+) -> RootedTree:
+    """Build a :class:`RootedTree` from a set of graph edge ids that form
+    a spanning tree of ``graph``.
+
+    Raises:
+        TreeError: If the edge set is not a spanning tree.
+    """
+    n = graph.num_nodes
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    count = 0
+    for eid in edge_ids:
+        u, v = graph.endpoints(eid)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        count += 1
+    if count != n - 1:
+        raise TreeError(f"spanning tree needs {n - 1} edges, got {count}")
+    parent = [-2] * n
+    parent[root] = -1
+    queue = deque([root])
+    visited = 1
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if parent[neighbor] == -2:
+                parent[neighbor] = node
+                visited += 1
+                queue.append(neighbor)
+    if visited != n:
+        raise TreeError("edge set does not span the graph")
+    return RootedTree(parent)
+
+
+def induced_cut_capacities(graph: Graph, tree: RootedTree) -> np.ndarray:
+    """For each tree edge (v, parent[v]), compute the capacity in
+    ``graph`` of the cut (T_v, V \\ T_v) its subtree induces.
+
+    This is exactly the multicommodity-flow magnitude |f'| of the
+    paper's Section 8.1 (Lemmas 8.1/8.3): routing cap(e) units along the
+    tree for every graph edge e loads tree edge (v, p(v)) with the total
+    capacity of graph edges having exactly one endpoint in T_v — i.e.
+    the induced cut capacity. Computed here with one Euler pass:
+    cut(T_v) = Σ_{e incident to T_v} cap(e) − 2·Σ_{e inside T_v} cap(e).
+    """
+    n = graph.num_nodes
+    if tree.num_nodes != n:
+        raise TreeError("tree and graph node counts differ")
+    incident = np.zeros(n)
+    for e in graph.edges():
+        incident[e.u] += e.capacity
+        incident[e.v] += e.capacity
+    # For "inside" sums: an edge {u, v} lies inside T_w iff w is an
+    # ancestor of lca(u, v). Accumulate 2*cap at the LCA, then take
+    # subtree sums of (incident - 2*cap_at_lca).
+    at_lca = np.zeros(n)
+    for e in graph.edges():
+        at_lca[tree.lca(e.u, e.v)] += 2.0 * e.capacity
+    cut = tree.subtree_sums(incident - at_lca)
+    cut[tree.root] = 0.0
+    # Clamp tiny negatives from float accumulation.
+    cut[cut < 0] = 0.0
+    return cut
+
+
+def tree_route_demand(
+    graph: Graph, tree: RootedTree, demand: Sequence[float]
+) -> np.ndarray:
+    """Route ``demand`` on a spanning tree whose edges are graph edges,
+    returning a flow vector indexed by *graph* edge ids.
+
+    The tree's (v, parent[v]) edges must each correspond to at least one
+    graph edge between v and parent[v]; the lowest-id such edge carries
+    the flow. Used for Algorithm 1's final residual routing.
+    """
+    demand = np.asarray(demand, dtype=float)
+    flows_on_tree = tree.edge_flows_for_demand(demand)
+    # Map each tree edge to a graph edge id.
+    edge_of_pair: dict[tuple[int, int], int] = {}
+    for e in graph.edges():
+        key = (min(e.u, e.v), max(e.u, e.v))
+        if key not in edge_of_pair:
+            edge_of_pair[key] = e.id
+    flow = np.zeros(graph.num_edges)
+    for v in range(tree.num_nodes):
+        p = tree.parent[v]
+        if p < 0:
+            continue
+        key = (min(v, p), max(v, p))
+        if key not in edge_of_pair:
+            raise TreeError(f"tree edge ({v}, {p}) has no corresponding graph edge")
+        eid = edge_of_pair[key]
+        u, _ = graph.endpoints(eid)
+        # Positive tree flow moves v -> p; positive graph flow moves
+        # tail -> head. Align signs.
+        sign = 1.0 if u == v else -1.0
+        flow[eid] += sign * flows_on_tree[v]
+    return flow
+
+
+def average_stretch(graph: Graph, tree: RootedTree) -> float:
+    """Average (unweighted) stretch of ``tree`` over the edges of
+    ``graph``: mean over edges {u,v} of the hop length of the u-v tree
+    path. For an edge of the tree itself the stretch is 1."""
+    if graph.num_edges == 0:
+        return 0.0
+    total = 0.0
+    for e in graph.edges():
+        total += tree.path_length(e.u, e.v)
+    return total / graph.num_edges
+
+
+def weighted_average_stretch(
+    graph: Graph,
+    tree: RootedTree,
+    edge_length: Sequence[float],
+    tree_edge_length: Sequence[float],
+) -> float:
+    """Average stretch with lengths (paper Section 7 / Eq. (2)):
+    ``mean over e={u,v} of d_T(u, v) / ℓ(e)`` where d_T uses
+    ``tree_edge_length[w]`` for tree edge (w, parent[w])."""
+    if graph.num_edges == 0:
+        return 0.0
+    total = 0.0
+    for e in graph.edges():
+        d_t = tree.path_length(e.u, e.v, tree_edge_length)
+        total += d_t / float(edge_length[e.id])
+    return total / graph.num_edges

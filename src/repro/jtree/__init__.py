@@ -1,0 +1,32 @@
+"""j-trees and the recursive virtual-tree hierarchy (paper §§4, 8)."""
+
+from repro.jtree.skeleton import SkeletonResult, build_skeleton
+from repro.jtree.madry import (
+    CoreEdge,
+    JTreeStep,
+    madry_jtree_step,
+    select_load_classes,
+)
+from repro.jtree.mwu import JTreeDistribution, build_jtree_distribution
+from repro.jtree.embedding import EmbeddingReport, embedding_report
+from repro.jtree.hierarchy import (
+    HierarchyParams,
+    VirtualTree,
+    sample_virtual_tree,
+)
+
+__all__ = [
+    "SkeletonResult",
+    "build_skeleton",
+    "CoreEdge",
+    "JTreeStep",
+    "madry_jtree_step",
+    "select_load_classes",
+    "JTreeDistribution",
+    "build_jtree_distribution",
+    "HierarchyParams",
+    "VirtualTree",
+    "sample_virtual_tree",
+    "EmbeddingReport",
+    "embedding_report",
+]

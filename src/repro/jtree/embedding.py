@@ -1,0 +1,96 @@
+"""Embedding diagnostics (Definition 8.1, Lemmas 8.6/8.7 empirically).
+
+Madry's analysis rests on mutual O(1)-embeddability of H(T, F) and the
+j-tree. This module measures the embedding quantities for the trees the
+hierarchy actually emits:
+
+* **relative load** rload(e) = cap_T(e)/cap(e): the congestion that
+  embedding G into the tree puts on tree edge e when every graph edge
+  routes its capacity along its tree path (1-embeddability of G into
+  the tree holds by construction when tree capacities are the induced
+  cut capacities — the load *equals* the capacity);
+* **load profile** against the *graph* capacities of the tree's edges:
+  the overhead the physical network would see if the virtual tree's
+  traffic were carried on the underlying edges — the quantity Räcke's
+  multiplicative-weights potential is built from (§8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, induced_cut_capacities
+
+__all__ = ["EmbeddingReport", "embedding_report"]
+
+
+@dataclass
+class EmbeddingReport:
+    """Embedding diagnostics for one virtual tree.
+
+    Attributes:
+        tree_load: Per child node, the total graph capacity routed over
+            the tree edge (v, parent) when embedding G into the tree
+            (= the induced cut capacity).
+        virtual_congestion: tree_load / tree capacity — 1.0 everywhere
+            for induced-cut-capacity trees (the 1-embeddability check).
+        physical_rload: tree_load / capacity of the *physical* graph
+            edge beneath each tree edge — the §8.2 relative load.
+        max_physical_rload: Its maximum (drives the MWU length update).
+        mean_physical_rload: Its mean.
+    """
+
+    tree_load: np.ndarray
+    virtual_congestion: np.ndarray
+    physical_rload: np.ndarray
+    max_physical_rload: float
+    mean_physical_rload: float
+
+
+def embedding_report(graph: Graph, tree: RootedTree) -> EmbeddingReport:
+    """Measure embedding quality of a spanning tree of ``graph``.
+
+    Args:
+        graph: The host graph G.
+        tree: A rooted spanning tree whose edges are graph edges, with
+            capacities attached (induced cut capacities for hierarchy
+            samples).
+
+    Returns:
+        An :class:`EmbeddingReport`.
+
+    Raises:
+        TreeError: If a tree edge has no underlying graph edge.
+    """
+    n = graph.num_nodes
+    if tree.num_nodes != n:
+        raise TreeError("tree and graph node counts differ")
+    load = induced_cut_capacities(graph, tree)
+    best_capacity: dict[tuple[int, int], float] = {}
+    for e in graph.edges():
+        key = (min(e.u, e.v), max(e.u, e.v))
+        best_capacity[key] = max(best_capacity.get(key, 0.0), e.capacity)
+
+    virtual = np.zeros(n)
+    physical = np.zeros(n)
+    children = [v for v in range(n) if tree.parent[v] >= 0]
+    for v in children:
+        p = tree.parent[v]
+        key = (min(v, p), max(v, p))
+        if key not in best_capacity:
+            raise TreeError(f"tree edge ({v}, {p}) is not a graph edge")
+        if tree.capacity[v] > 0:
+            virtual[v] = load[v] / tree.capacity[v]
+        physical[v] = load[v] / best_capacity[key]
+    values = physical[children] if children else np.zeros(0)
+    return EmbeddingReport(
+        tree_load=load,
+        virtual_congestion=virtual,
+        physical_rload=physical,
+        max_physical_rload=float(values.max(initial=0.0)),
+        mean_physical_rload=float(values.mean()) if len(values) else 0.0,
+    )

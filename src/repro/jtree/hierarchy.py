@@ -1,0 +1,226 @@
+"""The recursive hierarchy: sampling virtual trees (Theorem 8.10).
+
+Each sample interleaves three ingredients per level, exactly as the
+paper's recursion does:
+
+1. **sparsify** the current core to Õ(N) edges (Lemma 6.1);
+2. build a truncated **MWU distribution of j-trees** with
+   j = N / (4β) (Lemma 8.4) and **sample** one;
+3. the sampled j-tree's forest merges clusters (the cluster-graph level
+   transition of Section 4); its core becomes the next level's graph.
+
+When the core is small enough the remaining graph is collapsed by a
+single low-stretch spanning tree (the paper finishes the construction
+"locally" once N ≤ n^{1/2+o(1)}; a centralized implementation can
+simply finish at a constant-size threshold).
+
+The sampled **virtual tree** materializes as a genuine spanning tree of
+the input graph — every virtual edge is realized by a physical edge
+(invariant 4 of Section 4) — and its edges are assigned the *exact*
+capacities of the cuts their subtrees induce in G. That choice makes
+the lower-bound half of the congestion-approximator property
+unconditional (every row of R is a true cut of G; cf. Lemma 3.3's
+one-sided argument), while the tree distribution controls the upper
+bound α.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster_graph import ClusterGraph
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, induced_cut_capacities
+from repro.jtree.mwu import build_jtree_distribution
+from repro.lsst.akpw import akpw_spanning_tree
+from repro.sparsify.sparsifier import sparsification_target, sparsify
+from repro.util.rng import as_generator
+
+__all__ = ["VirtualTree", "HierarchyParams", "sample_virtual_tree"]
+
+
+@dataclass
+class HierarchyParams:
+    """Tunables of the recursive construction.
+
+    Attributes:
+        beta: Core shrink factor per level; defaults to the paper's
+            2^(log n)^(3/4), floored at 2.
+        trees_per_level: MWU iterations per level (the paper constructs
+            Õ(β) per level and samples one; Lemma 3.3 needs only
+            O(log n) total samples, so a small constant per level keeps
+            each sample cheap).
+        final_threshold: Collapse the remaining core with one spanning
+            tree once it has at most this many clusters.
+        sparsify_cores: Whether to run the Lemma 6.1 sparsifier between
+            levels (the paper always does; disabling is an ablation).
+        max_levels: Safety bound on recursion depth.
+        removal_policy: Passed to the Madry step ("classes" follows §4
+            step 3 and may terminate early; "topj" forces Θ(j)-size
+            cores and deep recursion, cf. §8.2).
+    """
+
+    beta: float | None = None
+    trees_per_level: int = 3
+    final_threshold: int | None = None
+    sparsify_cores: bool = True
+    max_levels: int = 64
+    removal_policy: str = "classes"
+
+    def resolved_beta(self, num_nodes: int) -> float:
+        if self.beta is not None:
+            return max(2.0, float(self.beta))
+        log_n = max(2.0, math.log2(num_nodes))
+        return max(2.0, 2.0 ** (log_n ** 0.75))
+
+    def resolved_threshold(self, num_nodes: int) -> int:
+        if self.final_threshold is not None:
+            return max(2, int(self.final_threshold))
+        return max(3, int(math.isqrt(num_nodes)))
+
+
+@dataclass
+class VirtualTree:
+    """A sampled virtual tree (one row-block of the approximator R).
+
+    Attributes:
+        tree: Rooted spanning tree of the input graph; the capacity of
+            edge (v, parent(v)) is the exact capacity of the cut that
+            T_v induces in the input graph.
+        levels: Number of j-tree recursion levels used.
+        cluster_counts: Core size after each level (diagnostics; the
+            paper predicts geometric decay by factor ~β).
+        phases: Total SplitGraph phases consumed (round accounting).
+        sparsifier_rounds: Total sparsifier peeling rounds.
+    """
+
+    tree: RootedTree
+    levels: int
+    cluster_counts: list[int] = field(default_factory=list)
+    phases: int = 0
+    sparsifier_rounds: int = 0
+
+
+def _finish_with_spanning_tree(
+    cg: ClusterGraph, rng: np.random.Generator, phases_acc: list[int]
+) -> ClusterGraph:
+    """Collapse the remaining core with one low-stretch spanning tree."""
+    quotient = cg.quotient
+    lengths = 1.0 / quotient.capacities()
+    lsst = akpw_spanning_tree(quotient, lengths=lengths, rng=rng)
+    phases_acc.append(lsst.phases)
+    tree = lsst.tree
+    chosen_by_pair: dict[tuple[int, int], int] = {}
+    for eid in lsst.tree_edges:
+        u, v = quotient.endpoints(eid)
+        chosen_by_pair[(min(u, v), max(u, v))] = eid
+    forest_parent = list(tree.parent)
+    forest_edge = [-1] * quotient.num_nodes
+    for c in range(quotient.num_nodes):
+        p = tree.parent[c]
+        if p >= 0:
+            forest_edge[c] = chosen_by_pair[(min(c, p), max(c, p))]
+    single = Graph(1)
+    return cg.merge_along_forest(
+        forest_parent=forest_parent,
+        forest_edge=forest_edge,
+        new_quotient=single,
+        new_edge_origin=[],
+        component_of=[0] * quotient.num_nodes,
+    )
+
+
+def sample_virtual_tree(
+    graph: Graph,
+    rng: np.random.Generator | int | None = None,
+    params: HierarchyParams | None = None,
+) -> VirtualTree:
+    """Sample one virtual tree from the recursive distribution.
+
+    Args:
+        graph: Connected capacitated input graph G.
+        rng: Randomness source.
+        params: Hierarchy tunables.
+
+    Returns:
+        A :class:`VirtualTree` whose ``tree`` spans G.
+
+    Raises:
+        GraphError: On disconnected input or recursion stall.
+    """
+    graph.require_connected()
+    rng = as_generator(rng)
+    params = params or HierarchyParams()
+    n = graph.num_nodes
+    if n == 1:
+        return VirtualTree(tree=RootedTree([-1]), levels=0)
+    beta = params.resolved_beta(n)
+    threshold = params.resolved_threshold(n)
+
+    cg = ClusterGraph.trivial(graph)
+    cluster_counts = [cg.num_clusters]
+    phases_acc: list[int] = []
+    sparsifier_rounds = 0
+    levels = 0
+    while cg.num_clusters > threshold and levels < params.max_levels:
+        quotient, origin = cg.quotient, cg.edge_origin
+        if params.sparsify_cores:
+            target = sparsification_target(quotient.num_nodes, 0.5)
+            if quotient.num_edges > target:
+                result = sparsify(quotient, rng=rng, target_edges=target)
+                sparsifier_rounds += result.rounds
+                origin = [origin[e] for e in result.edge_origin]
+                quotient = result.graph
+                cg = ClusterGraph(
+                    base=cg.base,
+                    assignment=cg.assignment,
+                    parent=cg.parent,
+                    roots=cg.roots,
+                    quotient=quotient,
+                    edge_origin=origin,
+                )
+        j = max(1, int(quotient.num_nodes / (4.0 * beta)))
+        distribution = build_jtree_distribution(
+            quotient,
+            j,
+            params.trees_per_level,
+            rng=rng,
+            removal_policy=params.removal_policy,
+        )
+        step = distribution.sample(rng)
+        phases_acc.append(sum(s.phases for s in distribution.steps))
+        if step.num_components >= cg.num_clusters:
+            raise GraphError("j-tree step made no progress")
+        new_quotient = Graph(step.num_components)
+        new_origin: list[int] = []
+        for ce in step.core_edges:
+            new_quotient.add_edge(ce.component_u, ce.component_v, ce.capacity)
+            new_origin.append(origin[ce.quotient_edge])
+        cg = cg.merge_along_forest(
+            forest_parent=step.forest_parent,
+            forest_edge=step.forest_edge,
+            new_quotient=new_quotient,
+            new_edge_origin=new_origin,
+            component_of=step.component_of,
+        )
+        cluster_counts.append(cg.num_clusters)
+        levels += 1
+        if cg.num_clusters == 1:
+            break
+    if cg.num_clusters > 1:
+        cg = _finish_with_spanning_tree(cg, rng, phases_acc)
+        cluster_counts.append(1)
+    tree = RootedTree(cg.parent)
+    capacities = induced_cut_capacities(graph, tree)
+    tree = RootedTree(cg.parent, capacities)
+    return VirtualTree(
+        tree=tree,
+        levels=levels,
+        cluster_counts=cluster_counts,
+        phases=sum(phases_acc),
+        sparsifier_rounds=sparsifier_rounds,
+    )

@@ -1,0 +1,299 @@
+"""One step of Madry's j-tree construction (paper §4 and §8.2–8.3).
+
+Given the current cluster multigraph (the "core" from the previous
+recursion level) and an edge length function, one step produces a
+Θ(j)-tree:
+
+1. compute a low average-stretch spanning tree T w.r.t. the lengths
+   (Theorem 3.1);
+2. compute, for every tree edge, the load |f'| of embedding the graph
+   into T — equal to the capacity of the cut the edge's subtree induces
+   (Lemma 8.1/8.3) — and the relative load rload = |f'| / cap;
+3. partition tree edges into load classes (R/2^i, R/2^{i-1}]; find the
+   minimal class i0 with Ω(j / log n) edges whose higher classes hold
+   at most j edges; remove those higher-class edges (the set F);
+4. compute portals, skeleton, and the deleted path-edge set D
+   (:mod:`repro.jtree.skeleton`);
+5. the forest T \\ (F ∪ D), rooted at the portals, plus the core edges
+   (graph edges crossing components at original capacity, D edges at
+   their tree capacity) form the j-tree.
+
+The relative loads feed the multiplicative-weights update
+(:mod:`repro.jtree.mwu`) that turns repeated steps into an
+(α, H[j])-decomposition (Lemma 8.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, induced_cut_capacities
+from repro.jtree.skeleton import SkeletonResult, build_skeleton
+from repro.lsst.akpw import akpw_spanning_tree
+from repro.util.rng import as_generator
+
+__all__ = ["CoreEdge", "JTreeStep", "madry_jtree_step", "select_load_classes"]
+
+
+@dataclass(frozen=True)
+class CoreEdge:
+    """An edge of the j-tree's core multigraph.
+
+    Attributes:
+        component_u / component_v: Endpoint components (new clusters).
+        capacity: Core capacity (original capacity for crossing graph
+            edges; the tree capacity cap_T for D-edges, per §8.3).
+        quotient_edge: The quotient edge this core edge is realized by
+            (a physical network edge via the cluster graph's ψ map).
+        is_path_edge: True for D-edges (deleted skeleton path edges).
+    """
+
+    component_u: int
+    component_v: int
+    capacity: float
+    quotient_edge: int
+    is_path_edge: bool
+
+
+@dataclass
+class JTreeStep:
+    """Everything one Madry step produces.
+
+    Attributes:
+        tree: The spanning tree T of the quotient.
+        tree_edge_of_child: Quotient edge id realizing (c, parent(c)).
+        tree_capacity: cap_T per child node (induced cut capacities).
+        rload: Relative load per child node (cap_T / cap).
+        rload_per_edge: Relative load per *quotient edge* (0 off-tree) —
+            the MWU update vector.
+        removed_edges: Child node ids whose parent edge went into F.
+        skeleton: Portal/skeleton/D data.
+        forest_parent: Per cluster, parent cluster in the j-tree forest
+            (-1 at portals).
+        forest_edge: Per cluster, quotient edge to the forest parent.
+        component_of: Per cluster, its component (new cluster) index.
+        core_edges: The core multigraph's edges.
+        num_components: Number of new clusters (= core size).
+        phases: SplitGraph phases consumed (round accounting).
+    """
+
+    tree: RootedTree
+    tree_edge_of_child: list[int]
+    tree_capacity: np.ndarray
+    rload: np.ndarray
+    rload_per_edge: np.ndarray
+    removed_edges: list[int]
+    skeleton: SkeletonResult
+    forest_parent: list[int]
+    forest_edge: list[int]
+    component_of: list[int]
+    core_edges: list[CoreEdge]
+    num_components: int
+    phases: int
+
+
+def select_load_classes(
+    rload: np.ndarray, children: list[int], j: int
+) -> list[int]:
+    """Choose the removal set F by load classes (paper §4 step 3).
+
+    Args:
+        rload: Relative load per child node.
+        children: Child node ids carrying tree edges (all non-roots).
+        j: Target size bound: |F| <= j.
+
+    Returns:
+        Child node ids whose parent edges form F (the classes strictly
+        above the first class containing Ω(j / log n) edges).
+    """
+    if not children:
+        return []
+    loads = np.array([rload[c] for c in children])
+    r_max = float(loads.max())
+    if r_max <= 0:
+        return []
+    # class index of edge: i such that rload in (R/2^i, R/2^{i-1}],
+    # i.e. ratio R/rload in [2^{i-1}, 2^i) and i = floor(log2 ratio)+1.
+    with np.errstate(divide="ignore"):
+        ratio = np.where(loads > 0, r_max / loads, np.inf)
+    finite = np.isfinite(ratio)
+    class_index = np.full(len(loads), 63, dtype=int)
+    class_index[finite] = (
+        np.floor(np.log2(np.maximum(ratio[finite], 1.0))).astype(int) + 1
+    )
+    i_max = int(class_index.max())
+    quota = max(1, int(j / max(1.0, math.log2(len(children) + 1))))
+    prefix = 0
+    for i in range(1, i_max + 1):
+        size_i = int((class_index == i).sum())
+        if size_i >= quota or prefix + size_i > j:
+            # classes 1..i-1 are removed (they hold `prefix` <= j edges)
+            return [
+                c
+                for c, ci in zip(children, class_index)
+                if ci < i
+            ]
+        prefix += size_i
+    # Every class was small and the total fits within j: remove all but
+    # the last class (keeps Ω(j / log) near the new max).
+    return [c for c, ci in zip(children, class_index) if ci < i_max]
+
+
+def madry_jtree_step(
+    quotient: Graph,
+    lengths: Sequence[float] | None,
+    j: int,
+    rng: np.random.Generator | int | None = None,
+    extra_removals: Sequence[int] = (),
+    removal_policy: str = "classes",
+) -> JTreeStep:
+    """Run one Madry construction step on a cluster multigraph.
+
+    Args:
+        quotient: The core multigraph from the previous level.
+        lengths: Edge lengths for the spanning tree (None = 1/cap).
+        j: The j parameter (bounds |F| and hence portal count < 4j).
+        rng: Randomness source.
+        extra_removals: Additional child node ids to force into F (the
+            paper's Õ(√n) random depth-control edges, Lemma 8.2).
+        removal_policy: ``"classes"`` — the load-class rule of §4 step 3
+            (F may be empty when the top class is already large);
+            ``"topj"`` — §8.2's "repeatedly delete the edge with the
+            largest relative load" reading: F = the j highest-load tree
+            edges, which guarantees ~Θ(j) portals and hence genuinely
+            multi-level recursion.
+
+    Returns:
+        A :class:`JTreeStep`.
+    """
+    rng = as_generator(rng)
+    n = quotient.num_nodes
+    if n < 2:
+        raise GraphError("madry step needs at least 2 clusters")
+    if lengths is None:
+        lengths = 1.0 / quotient.capacities()
+    lsst = akpw_spanning_tree(quotient, lengths=lengths, rng=rng)
+    tree = lsst.tree
+
+    # Map each tree edge (child, parent) to the quotient edge realizing
+    # it (akpw reports the chosen edge ids).
+    chosen_by_pair: dict[tuple[int, int], int] = {}
+    for eid in lsst.tree_edges:
+        u, v = quotient.endpoints(eid)
+        chosen_by_pair[(min(u, v), max(u, v))] = eid
+    tree_edge_of_child = [-1] * n
+    for c in range(n):
+        p = tree.parent[c]
+        if p >= 0:
+            tree_edge_of_child[c] = chosen_by_pair[(min(c, p), max(c, p))]
+
+    # Tree capacities = induced cut capacities (the |f'| of Lemma 8.3).
+    tree_capacity = induced_cut_capacities(quotient, tree)
+    rload = np.zeros(n)
+    for c in range(n):
+        eid = tree_edge_of_child[c]
+        if eid >= 0:
+            rload[c] = tree_capacity[c] / quotient.capacity(eid)
+    rload_per_edge = np.zeros(quotient.num_edges)
+    for c in range(n):
+        eid = tree_edge_of_child[c]
+        if eid >= 0:
+            rload_per_edge[eid] = rload[c]
+
+    children = [c for c in range(n) if tree.parent[c] >= 0]
+    if removal_policy == "classes":
+        removed = set(select_load_classes(rload, children, j))
+    elif removal_policy == "topj":
+        by_load = sorted(children, key=lambda c: -rload[c])
+        removed = set(by_load[: min(j, max(0, len(children) - 1))])
+    else:
+        raise GraphError(f"unknown removal_policy {removal_policy!r}")
+    removed.update(int(c) for c in extra_removals if tree.parent[c] >= 0)
+
+    # Forest T \ F and primary portals.
+    forest_edges = [
+        (c, tree.parent[c], float(tree_capacity[c]))
+        for c in children
+        if c not in removed
+    ]
+    primary = set()
+    for c in removed:
+        primary.add(c)
+        primary.add(tree.parent[c])
+    skeleton = build_skeleton(n, forest_edges, primary)
+
+    # Root every component at its portal; orient the forest.
+    deleted_keys = {
+        (a, b) for a, b, _ in skeleton.deleted_path_edges
+    }
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for c, p, _ in forest_edges:
+        if (min(c, p), max(c, p)) in deleted_keys:
+            continue
+        adjacency[c].append(p)
+        adjacency[p].append(c)
+    forest_parent = [-1] * n
+    forest_edge = [-1] * n
+    for comp_index, portal in enumerate(skeleton.component_portal):
+        stack = [portal]
+        seen = {portal}
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w in seen:
+                    continue
+                seen.add(w)
+                forest_parent[w] = v
+                forest_edge[w] = (
+                    tree_edge_of_child[w]
+                    if tree.parent[w] == v
+                    else tree_edge_of_child[v]
+                )
+                stack.append(w)
+
+    # Core edges: quotient edges crossing components (original capacity)
+    # plus D edges (tree capacity). D edges physically cross components.
+    component = skeleton.component
+    core_edges: list[CoreEdge] = []
+    d_capacity = {
+        (a, b): cap for a, b, cap in skeleton.deleted_path_edges
+    }
+    d_emitted: set[tuple[int, int]] = set()
+    for e in quotient.edges():
+        cu, cv = component[e.u], component[e.v]
+        if cu == cv:
+            continue
+        pair = (min(e.u, e.v), max(e.u, e.v))
+        is_tree_edge = (
+            tree_edge_of_child[e.u] == e.id or tree_edge_of_child[e.v] == e.id
+        )
+        if is_tree_edge and pair in d_capacity and pair not in d_emitted:
+            core_edges.append(
+                CoreEdge(cu, cv, d_capacity[pair], e.id, True)
+            )
+            d_emitted.add(pair)
+        elif is_tree_edge and pair in d_capacity:
+            continue  # the D edge was already emitted once
+        else:
+            core_edges.append(CoreEdge(cu, cv, e.capacity, e.id, False))
+    return JTreeStep(
+        tree=tree,
+        tree_edge_of_child=tree_edge_of_child,
+        tree_capacity=tree_capacity,
+        rload=rload,
+        rload_per_edge=rload_per_edge,
+        removed_edges=sorted(removed),
+        skeleton=skeleton,
+        forest_parent=forest_parent,
+        forest_edge=forest_edge,
+        component_of=list(component),
+        core_edges=core_edges,
+        num_components=len(skeleton.component_portal),
+        phases=lsst.phases,
+    )

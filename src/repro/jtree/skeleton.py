@@ -1,0 +1,198 @@
+"""Skeleton and portal computation (paper §8.3, Lemmas 8.5/8.8).
+
+Given a spanning tree T of the (cluster) graph and the removed edge set
+F, the forest T \\ F is reduced to a j-tree as follows:
+
+* **primary portals** P1: clusters incident to an edge of F;
+* the **skeleton**: iteratively strip degree-1 non-portal clusters;
+* **secondary portals** P2: skeleton clusters of degree > 2 not in P1;
+* on every maximal skeleton path between portals with no interior
+  portal, delete the minimum-capacity edge (the set D);
+* each component of T \\ (F ∪ D) then contains exactly one portal and
+  becomes one tree of the j-tree's forest, rooted at its portal.
+
+Lemma 8.5: |P| < 4|F|.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+__all__ = ["SkeletonResult", "build_skeleton"]
+
+
+@dataclass
+class SkeletonResult:
+    """Output of the skeleton/portal computation.
+
+    All node indices refer to the cluster graph on which the spanning
+    tree was built. Tree edges are identified by their child endpoint
+    in the rooted tree representation used by the caller, but here the
+    tree is given as an undirected adjacency, so edges are (a, b) pairs
+    with a < b.
+
+    Attributes:
+        primary_portals: P1.
+        secondary_portals: P2.
+        deleted_path_edges: The set D, as (a, b, capacity) with a < b.
+        component: Component index of each node in T \\ (F ∪ D).
+        component_portal: The unique portal of each component.
+        skeleton_nodes: Nodes surviving the leaf stripping.
+    """
+
+    primary_portals: set[int]
+    secondary_portals: set[int]
+    deleted_path_edges: list[tuple[int, int, float]]
+    component: list[int]
+    component_portal: list[int]
+    skeleton_nodes: set[int]
+
+    @property
+    def portals(self) -> set[int]:
+        return self.primary_portals | self.secondary_portals
+
+
+def build_skeleton(
+    num_nodes: int,
+    forest_edges: list[tuple[int, int, float]],
+    primary_portals: set[int],
+) -> SkeletonResult:
+    """Compute skeleton, portals, and the deleted edge set D.
+
+    Args:
+        num_nodes: Number of cluster-graph nodes.
+        forest_edges: Edges of T \\ F as (a, b, capacity) pairs.
+        primary_portals: Clusters incident to F edges.
+
+    Returns:
+        A :class:`SkeletonResult`; every component of T \\ (F ∪ D) has
+        exactly one portal. If ``primary_portals`` is empty (F = ∅),
+        the whole tree is one component and node 0's tree root acts as
+        the single "portal" (the j-tree degenerates to a 1-tree).
+    """
+    adjacency: list[dict[tuple[int, int], float]] = [
+        {} for _ in range(num_nodes)
+    ]
+    for a, b, cap in forest_edges:
+        key = (min(a, b), max(a, b))
+        adjacency[a][key] = cap
+        adjacency[b][key] = cap
+
+    portals = set(primary_portals)
+    if not portals:
+        # Degenerate: no F edges; one component, pick a canonical portal.
+        portals = {0} if num_nodes else set()
+
+    # --- 1. strip non-portal leaves iteratively -----------------------
+    degree = [len(adjacency[v]) for v in range(num_nodes)]
+    alive = [True] * num_nodes
+    queue = deque(
+        v
+        for v in range(num_nodes)
+        if degree[v] <= 1 and v not in portals
+    )
+    stripped: set[int] = set()
+    while queue:
+        v = queue.popleft()
+        if not alive[v] or v in portals:
+            continue
+        if degree[v] > 1:
+            continue
+        alive[v] = False
+        stripped.add(v)
+        for key in adjacency[v]:
+            a, b = key
+            other = b if a == v else a
+            if alive[other]:
+                degree[other] -= 1
+                if degree[other] <= 1 and other not in portals:
+                    queue.append(other)
+    skeleton_nodes = {
+        v for v in range(num_nodes) if alive[v] and (degree[v] > 0 or v in portals)
+    }
+
+    # --- 2. secondary portals: skeleton degree > 2 --------------------
+    secondary = {
+        v
+        for v in skeleton_nodes
+        if v not in portals and degree[v] > 2
+    }
+    all_portals = portals | secondary
+
+    # --- 3. walk skeleton paths between portals; delete min-cap edge --
+    deleted: list[tuple[int, int, float]] = []
+    visited_edges: set[tuple[int, int]] = set()
+    for p in sorted(all_portals):
+        if p not in skeleton_nodes:
+            continue
+        for key in list(adjacency[p].keys()):
+            a, b = key
+            other = b if a == p else a
+            if other not in skeleton_nodes or key in visited_edges:
+                continue
+            # Walk along degree-2 non-portal skeleton nodes.
+            path_edges: list[tuple[int, int, float]] = []
+            prev, node = p, other
+            edge_key = key
+            path_edges.append((edge_key[0], edge_key[1], adjacency[p][edge_key]))
+            visited_edges.add(edge_key)
+            while node not in all_portals:
+                next_keys = [
+                    k
+                    for k in adjacency[node]
+                    if k != edge_key
+                    and (k[0] if k[1] == node else k[1]) in skeleton_nodes
+                    and alive[k[0]]
+                    and alive[k[1]]
+                ]
+                if not next_keys:
+                    break  # dead end (stripped side branch)
+                edge_key = next_keys[0]
+                a2, b2 = edge_key
+                prev, node = node, (b2 if a2 == node else a2)
+                path_edges.append((a2, b2, adjacency[prev][edge_key]))
+                visited_edges.add(edge_key)
+            if node in all_portals and path_edges:
+                deleted.append(min(path_edges, key=lambda t: (t[2], t[:2])))
+
+    # --- 4. components of T \ (F ∪ D) --------------------------------
+    deleted_keys = {(a, b) for a, b, _ in deleted}
+    component = [-1] * num_nodes
+    component_portal: list[int] = []
+    comp = 0
+    for start in range(num_nodes):
+        if component[start] >= 0:
+            continue
+        members = [start]
+        component[start] = comp
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for key in adjacency[v]:
+                if key in deleted_keys:
+                    continue
+                a, b = key
+                other = b if a == v else a
+                if component[other] < 0:
+                    component[other] = comp
+                    members.append(other)
+                    queue.append(other)
+        inside = [v for v in members if v in all_portals]
+        if len(inside) > 1:
+            raise GraphError(
+                f"component {comp} contains {len(inside)} portals; "
+                "skeleton path deletion failed"
+            )
+        component_portal.append(inside[0] if inside else members[0])
+        comp += 1
+    return SkeletonResult(
+        primary_portals=set(primary_portals),
+        secondary_portals=secondary,
+        deleted_path_edges=deleted,
+        component=component,
+        component_portal=component_portal,
+        skeleton_nodes=skeleton_nodes,
+    )

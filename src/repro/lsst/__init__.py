@@ -1,0 +1,23 @@
+"""Low average-stretch spanning trees (paper Section 7, Theorem 3.1)."""
+
+from repro.lsst.split_graph import SplitGraphResult, split_graph
+from repro.lsst.partition import PartitionResult, partition
+from repro.lsst.akpw import LsstResult, akpw_spanning_tree, default_class_base
+from repro.lsst.stretch import (
+    stretch_per_edge,
+    summarize_stretch,
+    tree_edge_lengths,
+)
+
+__all__ = [
+    "SplitGraphResult",
+    "split_graph",
+    "PartitionResult",
+    "partition",
+    "LsstResult",
+    "akpw_spanning_tree",
+    "default_class_base",
+    "stretch_per_edge",
+    "summarize_stretch",
+    "tree_edge_lengths",
+]

@@ -1,0 +1,157 @@
+"""Algorithm SplitGraph (paper Figure 4): low-diameter decomposition.
+
+Given an unweighted (multi)graph and a target radius ρ, SplitGraph
+partitions the nodes into clusters of radius at most ρ such that, in
+expectation, only an O(log N / ρ) fraction of edges is cut. It works in
+2·log N phases: phase t samples a geometrically growing set of sources
+S_t, each source waits a random delay and then grows a BFS ball; a node
+joins the cluster of the first BFS that reaches it (ties by source id).
+
+This is the engine of the AKPW low-stretch spanning tree (§7) and runs
+in O(ρ log N) simulated rounds; the distributed round cost is charged
+via :meth:`repro.congest.cost.CostModel.lsst` using the *measured*
+phase count this implementation reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+__all__ = ["SplitGraphResult", "split_graph"]
+
+
+@dataclass
+class SplitGraphResult:
+    """Outcome of a SplitGraph decomposition.
+
+    Attributes:
+        cluster: ``cluster[v]`` = cluster id of node v (cluster ids are
+            the source node ids).
+        parent: BFS-tree parent of v inside its cluster (-1 at sources).
+        parent_edge: Graph edge id to the parent (-1 at sources).
+        radius: Max BFS depth realized in any cluster.
+        phases: Number of sequential BFS phases executed — the quantity
+            the round-cost model charges (each phase is one simulated
+            cluster-graph round, Lemma 5.1).
+        cut_edges: Edge ids whose endpoints landed in different clusters.
+    """
+
+    cluster: list[int]
+    parent: list[int]
+    parent_edge: list[int]
+    radius: int
+    phases: int
+    cut_edges: list[int]
+
+
+def split_graph(
+    graph: Graph,
+    target_radius: int,
+    rng: np.random.Generator | int | None = None,
+    active_edges: list[int] | None = None,
+) -> SplitGraphResult:
+    """Decompose ``graph`` into clusters of radius <= target_radius.
+
+    Args:
+        graph: Unweighted view of a (multi)graph — capacities ignored.
+        target_radius: The ρ parameter. Must be >= 1.
+        rng: Randomness source.
+        active_edges: If given, BFS may only traverse these edge ids
+            (the AKPW iteration restricts to low weight classes);
+            other edges are reported as cut if their endpoints separate.
+
+    Returns:
+        A :class:`SplitGraphResult`. Every node is assigned a cluster.
+    """
+    rng = as_generator(rng)
+    n = graph.num_nodes
+    rho = max(1, int(target_radius))
+    log_n = max(1, math.ceil(math.log2(max(n, 2))))
+
+    if active_edges is None:
+        allowed = None
+    else:
+        allowed = np.zeros(graph.num_edges, dtype=bool)
+        allowed[active_edges] = True
+
+    cluster = [-1] * n
+    parent = [-1] * n
+    parent_edge = [-1] * n
+    depth = [0] * n
+    remaining = set(range(n))
+    phases = 0
+    # Figure 4, step 2c: delays are uniform in [0, rho/(2 log N)]; for
+    # small rho this is always 0, so every sampled source starts
+    # immediately (which guarantees progress).
+    max_delay = rho // (2 * log_n)
+
+    for t in range(1, 2 * log_n + 1):
+        if not remaining:
+            break
+        vt = sorted(remaining)
+        # Source density grows by 2^{t/2} per phase (Figure 4, step 2a):
+        # each still-uncovered node becomes a source independently with
+        # probability min(1, 2^{t/2}/n), reaching 1 by the final phase
+        # t = 2 log n, which guarantees full coverage.
+        probability = min(1.0, 2 ** (t / 2.0) / n)
+        picks = rng.random(len(vt)) < probability
+        sources = [v for v, picked in zip(vt, picks) if picked]
+        if not sources:
+            sources = [int(rng.choice(vt))]
+        budget = max(1, int(rho * (1.0 - (t - 1) / (2.0 * log_n))))
+        delays = {s: int(rng.integers(0, max_delay + 1)) for s in sources}
+
+        # Delayed multi-source BFS over `remaining`, restricted to
+        # active edges. Priority: (arrival_time, source_id) — the first
+        # BFS to visit wins, ties broken by source id (Figure 4, 2e).
+        heap: list[tuple[int, int, int, int, int]] = []
+        for s in sources:
+            if delays[s] < budget:
+                heapq.heappush(heap, (delays[s], s, s, -1, -1))
+        claimed: dict[int, tuple[int, int, int, int]] = {}
+        while heap:
+            time, src, node, par, pedge = heapq.heappop(heap)
+            if node in claimed or node not in remaining:
+                continue
+            claimed[node] = (src, par, pedge, time - delays[src])
+            for neighbor, eid in graph.neighbors(node):
+                if allowed is not None and not allowed[eid]:
+                    continue
+                if neighbor in claimed or neighbor not in remaining:
+                    continue
+                # Source s is delayed by delays[s] and then runs for
+                # budget - delays[s] steps, i.e. until global time
+                # `budget` — uniform across sources (Figure 4, 2d).
+                if time + 1 <= budget:
+                    heapq.heappush(heap, (time + 1, src, neighbor, node, eid))
+        for node, (src, par, pedge, d) in claimed.items():
+            cluster[node] = src
+            parent[node] = par
+            parent_edge[node] = pedge
+            depth[node] = d
+            remaining.discard(node)
+        phases += budget
+    # Any stragglers become singleton clusters (can only happen when a
+    # node has no allowed edges to sampled sources).
+    for node in list(remaining):
+        cluster[node] = node
+        remaining.discard(node)
+
+    cut_edges = [
+        e.id for e in graph.edges() if cluster[e.u] != cluster[e.v]
+    ]
+    return SplitGraphResult(
+        cluster=cluster,
+        parent=parent,
+        parent_edge=parent_edge,
+        radius=max(depth) if depth else 0,
+        phases=phases,
+        cut_edges=cut_edges,
+    )

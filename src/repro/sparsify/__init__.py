@@ -1,0 +1,18 @@
+"""Cut sparsifiers via Baswana–Sen spanners (paper Section 6)."""
+
+from repro.sparsify.spanner import SpannerResult, baswana_sen_spanner
+from repro.sparsify.sparsifier import (
+    SparsifierResult,
+    sparsification_target,
+    sparsify,
+)
+from repro.sparsify.orientation import orient_edges
+
+__all__ = [
+    "SpannerResult",
+    "baswana_sen_spanner",
+    "SparsifierResult",
+    "sparsification_target",
+    "sparsify",
+    "orient_edges",
+]

@@ -1,0 +1,66 @@
+"""Bounded out-degree edge orientation (paper §6, end of Lemma 6.1).
+
+After sparsification each cluster must manage only O(polylog) outgoing
+edges; the paper's little algorithm achieves out-degree O(d_avg) in
+O(D + log n) rounds: repeatedly, every node with fewer than 2·d_avg
+unoriented incident edges orients them all outward and halts. At least
+half the remaining nodes halt per iteration (their average degree can't
+exceed twice the global average), so log n iterations suffice.
+"""
+
+from __future__ import annotations
+
+__all__ = ["orient_edges"]
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def orient_edges(graph: Graph, max_iterations: int | None = None) -> list[bool]:
+    """Orient all edges with out-degree O(average degree) per node.
+
+    Returns:
+        ``forward[eid]`` — True if edge eid is oriented along its fixed
+        u→v direction (i.e. *u* owns it), False if v owns it.
+
+    Raises:
+        GraphError: If the iteration bound is exceeded (cannot happen
+            for correct inputs; guards against regressions).
+    """
+    n = graph.num_nodes
+    m = graph.num_edges
+    if m == 0:
+        return []
+    if max_iterations is None:
+        max_iterations = 2 * max(1, n.bit_length()) + 2
+    average_degree = 2.0 * m / n
+    threshold = 2.0 * average_degree
+    forward: list[bool | None] = [None] * m
+    unoriented_degree = [graph.degree(v) for v in range(n)]
+    halted = [False] * n
+
+    for _ in range(max_iterations):
+        if all(f is not None for f in forward):
+            break
+        # All nodes below threshold act simultaneously (ties: if both
+        # endpoints act this iteration, the smaller id wins the edge).
+        acting = [
+            v
+            for v in range(n)
+            if not halted[v] and unoriented_degree[v] < threshold
+        ]
+        acting_set = set(acting)
+        for v in acting:
+            for neighbor, eid in graph.neighbors(v):
+                if forward[eid] is not None:
+                    continue
+                if neighbor in acting_set and neighbor < v:
+                    continue  # neighbor claims it
+                u, _ = graph.endpoints(eid)
+                forward[eid] = u == v
+                unoriented_degree[neighbor] -= 1
+            unoriented_degree[v] = 0
+            halted[v] = True
+    if any(f is None for f in forward):
+        raise GraphError("edge orientation failed to converge")
+    return [bool(f) for f in forward]

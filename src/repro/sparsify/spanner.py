@@ -1,0 +1,147 @@
+"""Baswana–Sen O(log N)-stretch spanner (paper Figure 3).
+
+The spanner is the inner loop of Koutis's sparsifier (Lemma 6.1). The
+randomized clustering runs for log N levels: clusters survive with
+probability 1/2 per level; a node whose cluster dies either joins the
+nearest surviving cluster (adding the connecting edge plus all strictly
+lighter inter-cluster edges) or, if it has no surviving neighbor
+cluster, adds the lightest edge to *every* adjacent cluster and leaves
+the clustering. Finally every node connects to each adjacent surviving
+cluster with its lightest edge.
+
+Expected size is O(N log N) edges and the stretch is O(log N) w.r.t.
+the length function (we use ℓ = 1/cap so the spanner keeps the
+high-capacity skeleton, which is what cut sparsification needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.rng import as_generator
+
+__all__ = ["SpannerResult", "baswana_sen_spanner"]
+
+
+@dataclass
+class SpannerResult:
+    """Spanner output.
+
+    Attributes:
+        edge_ids: Ids of the graph edges selected into the spanner.
+        levels: Number of clustering levels executed.
+    """
+
+    edge_ids: list[int]
+    levels: int
+
+
+def _lightest_per_cluster(
+    graph: Graph,
+    node: int,
+    cluster: list[int | None],
+    lengths: np.ndarray,
+    restrict_to: set[int] | None = None,
+) -> dict[int, int]:
+    """Return {cluster_id: lightest edge id} over edges from ``node`` to
+    clustered neighbors (optionally restricted to given cluster ids).
+    Ties broken by edge id for determinism."""
+    best: dict[int, int] = {}
+    for neighbor, eid in graph.neighbors(node):
+        cid = cluster[neighbor]
+        if cid is None:
+            continue
+        if restrict_to is not None and cid not in restrict_to:
+            continue
+        if cid not in best or (
+            (lengths[eid], eid) < (lengths[best[cid]], best[cid])
+        ):
+            best[cid] = eid
+    return best
+
+
+def baswana_sen_spanner(
+    graph: Graph,
+    lengths: Sequence[float] | None = None,
+    rng: np.random.Generator | int | None = None,
+    levels: int | None = None,
+) -> SpannerResult:
+    """Compute a Baswana–Sen spanner.
+
+    Args:
+        graph: Connected or disconnected (multi)graph.
+        lengths: Edge lengths; defaults to ``1/cap`` so that the spanner
+            preferentially keeps high-capacity edges.
+        rng: Randomness source.
+        levels: Number of clustering levels; defaults to ceil(log2 N).
+
+    Returns:
+        A :class:`SpannerResult` with the chosen edge ids.
+    """
+    rng = as_generator(rng)
+    n = graph.num_nodes
+    if lengths is None:
+        lengths = 1.0 / graph.capacities()
+    else:
+        lengths = np.asarray(lengths, dtype=float)
+    if levels is None:
+        levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+
+    spanner: set[int] = set()
+    # cluster[v] = id of v's cluster (None once v leaves the clustering).
+    cluster: list[int | None] = list(range(n))
+
+    for _ in range(levels):
+        cluster_ids = {cid for cid in cluster if cid is not None}
+        if not cluster_ids:
+            break
+        marked = {cid for cid in cluster_ids if rng.random() < 0.5}
+        new_cluster: list[int | None] = list(cluster)
+        for v in range(n):
+            cid = cluster[v]
+            if cid is None:
+                continue
+            if cid in marked:
+                continue  # cluster survives; v stays put
+            # v's cluster died. Lightest edge per adjacent cluster:
+            lightest = _lightest_per_cluster(graph, v, cluster, lengths)
+            marked_adjacent = {
+                c: e for c, e in lightest.items() if c in marked
+            }
+            if not marked_adjacent:
+                # No surviving neighbor cluster: keep one lightest edge
+                # per adjacent cluster and leave the clustering
+                # (Figure 3, step 2(b)ii).
+                spanner.update(lightest.values())
+                new_cluster[v] = None
+            else:
+                # Join the nearest surviving cluster; keep that edge and
+                # every strictly lighter inter-cluster edge
+                # (Figure 3, step 2(b)iii).
+                join_cluster, join_edge = min(
+                    marked_adjacent.items(),
+                    key=lambda item: (lengths[item[1]], item[1]),
+                )
+                spanner.add(join_edge)
+                new_cluster[v] = join_cluster
+                threshold = lengths[join_edge]
+                for c, e in lightest.items():
+                    if c != join_cluster and (lengths[e], e) < (
+                        threshold,
+                        join_edge,
+                    ):
+                        spanner.add(e)
+        cluster = new_cluster
+
+    # Step 3: every node adds the lightest edge to each adjacent
+    # surviving cluster (its own cluster excluded).
+    for v in range(n):
+        lightest = _lightest_per_cluster(graph, v, cluster, lengths)
+        for c, e in lightest.items():
+            if c != cluster[v]:
+                spanner.add(e)
+    return SpannerResult(edge_ids=sorted(spanner), levels=levels)

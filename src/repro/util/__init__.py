@@ -1,0 +1,24 @@
+"""Shared utilities: seeded randomness and flow validation."""
+
+from repro.util.rng import as_generator, spawn
+from repro.util.validation import (
+    check_demand,
+    check_feasible_flow,
+    check_flow_capacity,
+    check_flow_conservation,
+    flow_value,
+    max_congestion,
+    st_demand,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "check_demand",
+    "check_feasible_flow",
+    "check_flow_capacity",
+    "check_flow_conservation",
+    "flow_value",
+    "max_congestion",
+    "st_demand",
+]

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Heavier artifacts (approximators, virtual-tree samples) are session
+scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_congestion_approximator
+from repro.graphs.generators import (
+    barbell,
+    grid,
+    random_connected,
+    random_regular_expander,
+)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A 24-node connected random graph with varied capacities."""
+    return random_connected(24, 0.15, rng=101)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """A 60-node connected random graph."""
+    return random_connected(60, 0.08, rng=202)
+
+
+@pytest.fixture(scope="session")
+def grid_graph():
+    """An 8x8 grid (high diameter, planar)."""
+    return grid(8, 8, rng=303)
+
+
+@pytest.fixture(scope="session")
+def expander_graph():
+    """A 50-node degree-6 expander (low diameter)."""
+    return random_regular_expander(50, degree=6, rng=404)
+
+
+@pytest.fixture(scope="session")
+def barbell_graph():
+    """Two 8-cliques joined by a capacity-2 bridge (sharp min cut)."""
+    return barbell(8, bridge_capacity=2.0, rng=505)
+
+
+@pytest.fixture(scope="session")
+def small_approximator(small_graph):
+    return build_congestion_approximator(small_graph, rng=99)
+
+
+@pytest.fixture(scope="session")
+def grid_approximator(grid_graph):
+    return build_congestion_approximator(grid_graph, rng=98)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,121 @@
+"""Tests for the accelerated AlmostRoute (paper footnote 3) and the
+binary-search max-flow formulation (§3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    accelerated_almost_route,
+    build_congestion_approximator,
+    max_flow,
+    max_flow_binary_search,
+)
+from repro.core.almost_route import almost_route
+from repro.errors import InvalidDemandError
+from repro.flow import dinic_max_flow
+from repro.graphs.generators import grid, random_connected
+from repro.util.validation import check_feasible_flow, st_demand
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = random_connected(20, 0.2, rng=401)
+    approx = build_congestion_approximator(g, rng=402)
+    return g, approx
+
+
+class TestAccelerated:
+    def test_routes_demand(self, setup):
+        g, approx = setup
+        demand = st_demand(g, 0, 19)
+        result = accelerated_almost_route(g, approx, demand, 0.4)
+        assert result.converged
+        assert np.abs(result.residual).max() < 0.5
+
+    def test_zero_demand(self, setup):
+        g, approx = setup
+        result = accelerated_almost_route(
+            g, approx, np.zeros(g.num_nodes), 0.5
+        )
+        np.testing.assert_allclose(result.flow, 0.0)
+
+    def test_fewer_iterations_than_plain(self, setup):
+        """The footnote-3 speedup: momentum should not be slower, and
+        is usually meaningfully faster at tight epsilon."""
+        g, approx = setup
+        demand = st_demand(g, 0, 19)
+        plain = almost_route(g, approx, demand, 0.2)
+        fast = accelerated_almost_route(g, approx, demand, 0.2)
+        assert fast.converged
+        assert fast.iterations <= plain.iterations * 1.1
+
+    def test_residual_consistency(self, setup):
+        g, approx = setup
+        demand = st_demand(g, 0, 19, 3.0)
+        result = accelerated_almost_route(g, approx, demand, 0.5)
+        np.testing.assert_allclose(
+            result.residual, demand + g.excess(result.flow), atol=1e-9
+        )
+
+    def test_invalid_epsilon(self, setup):
+        g, approx = setup
+        with pytest.raises(ValueError):
+            accelerated_almost_route(g, approx, st_demand(g, 0, 19), 2.0)
+
+    def test_budget_flagged(self, setup):
+        g, approx = setup
+        result = accelerated_almost_route(
+            g, approx, st_demand(g, 0, 19), 0.2, max_iterations=2
+        )
+        assert not result.converged
+
+
+class TestBinarySearch:
+    def test_agrees_with_scaling_method(self, setup):
+        g, approx = setup
+        scaling = max_flow(g, 0, 19, epsilon=0.4, approximator=approx)
+        search = max_flow_binary_search(
+            g, 0, 19, epsilon=0.4, approximator=approx
+        )
+        assert search.value == pytest.approx(scaling.value, rel=0.15)
+
+    def test_flow_feasible(self, setup):
+        g, approx = setup
+        result = max_flow_binary_search(
+            g, 0, 19, epsilon=0.5, approximator=approx
+        )
+        check_feasible_flow(
+            g, result.flow, st_demand(g, 0, 19, result.value), tol=1e-6
+        )
+
+    def test_value_below_exact(self, setup):
+        g, approx = setup
+        result = max_flow_binary_search(
+            g, 0, 19, epsilon=0.4, approximator=approx
+        )
+        exact = dinic_max_flow(g, 0, 19).value
+        assert result.value <= exact * (1 + 1e-6)
+        assert result.value >= exact / 1.6
+
+    def test_bracket_contains_value(self, setup):
+        g, approx = setup
+        result = max_flow_binary_search(
+            g, 0, 19, epsilon=0.5, approximator=approx
+        )
+        low, high = result.bracket
+        assert low <= high
+        assert result.search_steps >= 1
+
+    def test_grid_instance(self):
+        g = grid(5, 5, rng=403)
+        approx = build_congestion_approximator(g, rng=404)
+        result = max_flow_binary_search(g, 0, 24, epsilon=0.5, approximator=approx)
+        exact = dinic_max_flow(g, 0, 24).value
+        assert result.value >= exact / 1.7
+
+    def test_same_terminals_rejected(self, setup):
+        g, approx = setup
+        with pytest.raises(InvalidDemandError):
+            max_flow_binary_search(g, 4, 4, approximator=approx)

@@ -1,0 +1,215 @@
+"""Tests for cluster graphs (Definition 5.1) and Lemma 8.2 decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterGraph, TreeDecomposition, decompose_tree
+from repro.errors import GraphError, TreeError
+from repro.graphs.generators import caterpillar, path, random_connected
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, bfs_tree
+
+
+class TestTrivialClusterGraph:
+    def test_trivial_satisfies_definition(self, small_graph):
+        cg = ClusterGraph.trivial(small_graph)
+        cg.validate()
+
+    def test_trivial_shape(self, small_graph):
+        cg = ClusterGraph.trivial(small_graph)
+        assert cg.num_clusters == small_graph.num_nodes
+        assert cg.cluster_tree_depth() == 0
+        assert cg.quotient.num_edges == small_graph.num_edges
+
+    def test_cluster_members(self, small_graph):
+        cg = ClusterGraph.trivial(small_graph)
+        members = cg.cluster_members()
+        assert all(members[c] == [c] for c in range(cg.num_clusters))
+
+
+class TestValidation:
+    def _two_cluster(self) -> ClusterGraph:
+        # 0-1 in cluster 0 (root 0), 2 in cluster 1 (root 2);
+        # graph edges: (0,1), (1,2).
+        base = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        quotient = Graph(2, [(0, 1, 1.0)])
+        return ClusterGraph(
+            base=base,
+            assignment=[0, 0, 1],
+            parent=[-1, 0, -1],
+            roots=[0, 2],
+            quotient=quotient,
+            edge_origin=[1],
+        )
+
+    def test_valid_two_cluster(self):
+        self._two_cluster().validate()
+
+    def test_root_outside_cluster_rejected(self):
+        cg = self._two_cluster()
+        cg.roots = [2, 2]
+        with pytest.raises((GraphError, TreeError)):
+            cg.validate()
+
+    def test_cross_cluster_parent_rejected(self):
+        cg = self._two_cluster()
+        cg.assignment = [0, 1, 1]
+        cg.roots = [0, 1]
+        # parent[1] = 0 now crosses clusters.
+        with pytest.raises((GraphError, TreeError)):
+            cg.validate()
+
+    def test_non_graph_tree_edge_rejected(self):
+        base = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        cg = ClusterGraph(
+            base=base,
+            assignment=[0, 0, 0],
+            parent=[-1, 0, 0],  # (2, 0) is not a graph edge
+            roots=[0],
+            quotient=Graph(1),
+            edge_origin=[],
+        )
+        with pytest.raises(TreeError):
+            cg.validate()
+
+    def test_wrong_psi_mapping_rejected(self):
+        cg = self._two_cluster()
+        cg.edge_origin = [0]  # edge (0,1) is internal to cluster 0
+        with pytest.raises(GraphError):
+            cg.validate()
+
+
+class TestReroot:
+    def test_reroot_preserves_definition(self, small_graph):
+        cg = ClusterGraph.trivial(small_graph)
+        # singleton clusters: rerooting at the same node is a no-op.
+        cg.reroot_cluster(0, 0)
+        cg.validate()
+
+    def test_reroot_chain(self):
+        base = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        cg = ClusterGraph(
+            base=base,
+            assignment=[0, 0, 0],
+            parent=[-1, 0, 1],
+            roots=[0],
+            quotient=Graph(1),
+            edge_origin=[],
+        )
+        cg.reroot_cluster(0, 2)
+        assert cg.parent == [1, 2, -1]
+        assert cg.roots == [2]
+        cg.validate()
+
+    def test_reroot_wrong_cluster_rejected(self):
+        cg = ClusterGraph.trivial(Graph(2, [(0, 1, 1.0)]))
+        with pytest.raises(GraphError):
+            cg.reroot_cluster(0, 1)
+
+
+class TestMergeAlongForest:
+    def test_merge_two_singletons(self):
+        base = Graph(2, [(0, 1, 3.0)])
+        cg = ClusterGraph.trivial(base)
+        merged = cg.merge_along_forest(
+            forest_parent=[1, -1],
+            forest_edge=[0, -1],
+            new_quotient=Graph(1),
+            new_edge_origin=[],
+            component_of=[0, 0],
+        )
+        merged.validate()
+        assert merged.num_clusters == 1
+        assert merged.roots == [1]
+        assert merged.parent == [1, -1]
+
+    def test_merge_path_into_one_cluster(self):
+        base = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        cg = ClusterGraph.trivial(base)
+        merged = cg.merge_along_forest(
+            forest_parent=[-1, 0, 1, 2],
+            forest_edge=[-1, 0, 1, 2],
+            new_quotient=Graph(1),
+            new_edge_origin=[],
+            component_of=[0, 0, 0, 0],
+        )
+        merged.validate()
+        assert merged.roots == [0]
+        assert merged.cluster_tree_depth() == 3
+
+    def test_merge_keeps_other_clusters(self):
+        base = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        cg = ClusterGraph.trivial(base)
+        quotient = Graph(2, [(0, 1, 1.0)])
+        merged = cg.merge_along_forest(
+            forest_parent=[1, -1, -1],
+            forest_edge=[0, -1, -1],
+            new_quotient=quotient,
+            new_edge_origin=[1],
+            component_of=[0, 0, 1],
+        )
+        merged.validate()
+        assert merged.num_clusters == 2
+        assert merged.assignment == [0, 0, 1]
+
+    def test_missing_root_rejected(self):
+        base = Graph(2, [(0, 1, 3.0)])
+        cg = ClusterGraph.trivial(base)
+        with pytest.raises(GraphError):
+            cg.merge_along_forest(
+                forest_parent=[1, 0],  # cycle: no portal
+                forest_edge=[0, 0],
+                new_quotient=Graph(1),
+                new_edge_origin=[],
+                component_of=[0, 0],
+            )
+
+
+class TestDecomposition:
+    def test_components_cover_all_nodes(self):
+        tree = bfs_tree(random_connected(60, 0.08, rng=31), root=0)
+        deco = decompose_tree(tree, rng=32)
+        assert all(c >= 0 for c in deco.component)
+        assert deco.num_components == len(set(deco.component))
+
+    def test_component_count_near_sqrt_n(self):
+        g = path(400, rng=1)
+        tree = bfs_tree(g, root=0)
+        counts = [
+            decompose_tree(tree, rng=s).num_components for s in range(5)
+        ]
+        # E[|R|] <= sqrt(n) = 20; w.h.p. within a small constant factor.
+        assert np.mean(counts) < 4 * math.sqrt(400)
+
+    def test_depth_bound(self):
+        g = path(400, rng=1)
+        tree = bfs_tree(g, root=0)
+        depths = [decompose_tree(tree, rng=s).max_depth for s in range(5)]
+        bound = math.sqrt(400) * math.log(400) * 2
+        assert np.mean(depths) < bound
+
+    def test_weighted_sampling_cuts_heavy_children_more(self):
+        # weight = sqrt(total): probability min(1, w/scale) = 1 for the
+        # heavy child, so its edge is always removed.
+        tree = RootedTree([-1, 0, 0])
+        deco = decompose_tree(tree, rng=1, weights=[1.0, 100.0, 0.0], scale=10.0)
+        assert 1 in deco.removed
+
+    def test_caterpillar_decomposition(self):
+        g = caterpillar(30, 2, rng=2)
+        tree = bfs_tree(g, root=0)
+        deco = decompose_tree(tree, rng=3)
+        # Roots of components are either the tree root or removed nodes.
+        assert 0 in deco.component_roots
+        for r in deco.component_roots:
+            assert r == 0 or r in deco.removed
+
+    def test_no_removal_single_component(self):
+        tree = RootedTree([-1, 0, 1, 2])
+        deco = decompose_tree(tree, rng=1, scale=1e9)
+        assert deco.num_components == 1
+        assert deco.max_depth == 3

@@ -1,0 +1,106 @@
+"""Tests for the Lemma 5.1 cluster-round simulation."""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.cluster import ClusterGraph
+from repro.congest import cluster_flood_max, simulate_cluster_round
+from repro.graphs.generators import random_connected
+from repro.graphs.graph import Graph
+from repro.jtree.mwu import build_jtree_distribution
+from repro.util.rng import as_generator
+
+
+def _two_level_cluster_graph(n=30, seed=201, j=4):
+    """A nontrivial cluster graph built by one real Madry step."""
+    g = random_connected(n, 0.12, rng=seed)
+    cg = ClusterGraph.trivial(g)
+    rng = as_generator(seed + 1)
+    dist = build_jtree_distribution(
+        cg.quotient, j=j, num_trees=2, rng=rng, removal_policy="topj"
+    )
+    step = dist.sample(rng)
+    new_quotient = Graph(step.num_components)
+    new_origin = []
+    for ce in step.core_edges:
+        new_quotient.add_edge(ce.component_u, ce.component_v, ce.capacity)
+        new_origin.append(cg.edge_origin[ce.quotient_edge])
+    merged = cg.merge_along_forest(
+        step.forest_parent,
+        step.forest_edge,
+        new_quotient,
+        new_origin,
+        step.component_of,
+    )
+    merged.validate()
+    return merged
+
+
+class TestSimulateClusterRound:
+    def test_trivial_cluster_graph_exchange(self):
+        g = random_connected(12, 0.3, rng=211)
+        cg = ClusterGraph.trivial(g)
+        result = simulate_cluster_round(cg, list(range(12)), max)
+        # Every "cluster" (node) should have received the max over its
+        # neighbors' ids.
+        for v in range(12):
+            expected = max(nbr for nbr, _ in g.neighbors(v))
+            assert result.leader_values[v] == expected
+
+    def test_sum_combiner(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        cg = ClusterGraph.trivial(g)
+        result = simulate_cluster_round(cg, [10, 20, 30], operator.add)
+        assert result.leader_values[0] == 20
+        assert result.leader_values[1] == 40  # 10 + 30
+        assert result.leader_values[2] == 20
+
+    def test_rounds_bounded_by_depth(self):
+        cg = _two_level_cluster_graph()
+        depth = cg.cluster_tree_depth()
+        result = simulate_cluster_round(
+            cg, list(range(cg.num_clusters)), max
+        )
+        # Lemma 5.1 shape: one cluster round within ~2·depth + O(1).
+        assert result.rounds <= 2 * depth + 4
+
+    def test_leaders_receive_neighbor_info(self):
+        cg = _two_level_cluster_graph()
+        result = simulate_cluster_round(
+            cg, [c * 100 for c in range(cg.num_clusters)], max
+        )
+        # Any cluster with at least one incident edge hears something.
+        incident = [False] * cg.num_clusters
+        for eid in range(cg.quotient.num_edges):
+            a, b = cg.quotient.endpoints(eid)
+            incident[a] = incident[b] = True
+        for c in range(cg.num_clusters):
+            if incident[c]:
+                assert result.leader_values[c] is not None
+
+
+class TestClusterFloodMax:
+    def test_elects_max_cluster(self):
+        cg = _two_level_cluster_graph()
+        winner, rounds = cluster_flood_max(cg)
+        assert winner == cg.num_clusters - 1
+        assert rounds > 0
+
+    def test_network_rounds_scale_with_cluster_rounds(self):
+        """t cluster rounds cost ~t x (one cluster round) network
+        rounds — the Lemma 5.1 composition."""
+        cg = _two_level_cluster_graph()
+        single = simulate_cluster_round(
+            cg, list(range(cg.num_clusters)), max
+        ).rounds
+        _, total = cluster_flood_max(cg)
+        assert total <= (cg.num_clusters + 1) * (single + 2)
+
+    def test_trivial_graph_flood(self):
+        g = random_connected(10, 0.25, rng=212)
+        cg = ClusterGraph.trivial(g)
+        winner, _ = cluster_flood_max(cg)
+        assert winner == 9

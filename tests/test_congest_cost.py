@@ -1,0 +1,91 @@
+"""Unit tests for the round-cost model and its calibration against the
+simulator's measured primitive costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    CostModel,
+    build_bfs_tree,
+    pipelined_aggregate,
+)
+from repro.congest.cost import RoundLedger
+from repro.graphs.generators import grid, path, random_connected
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        ledger = RoundLedger()
+        ledger.charge("a", 5)
+        ledger.charge("a", 7)
+        ledger.charge("b", 1)
+        assert ledger.total == 13
+        assert ledger.by_label() == {"a": 12.0, "b": 1.0}
+
+
+class TestCostModel:
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            CostModel(1, 0)
+
+    def test_base_term(self):
+        model = CostModel(100, 7)
+        assert model.base == pytest.approx(7 + 10.0)
+
+    def test_for_graph_uses_exact_diameter(self):
+        g = path(9, rng=1)
+        model = CostModel.for_graph(g)
+        assert model.diameter == 8
+
+    def test_bfs_charge(self):
+        model = CostModel(100, 7)
+        assert model.bfs_tree() == 8
+        assert model.ledger.total == 8
+
+    def test_broadcast_pipelines(self):
+        model = CostModel(100, 7)
+        assert model.broadcast(items=20) == 27
+
+    def test_cluster_graph_round_matches_lemma(self):
+        model = CostModel(400, 5)
+        # Lemma 5.1: t simulated rounds cost t * (D + sqrt(n)).
+        assert model.cluster_graph_round(3) == pytest.approx(3 * 25.0)
+
+    def test_subpolynomial_factor_is_subpolynomial(self):
+        # 2^sqrt(log n loglog n) grows slower than any n^c, c>0: check
+        # the ratio to n^0.5 shrinks as n grows.
+        small = CostModel(2**10, 1)
+        large = CostModel(2**20, 1)
+        ratio_small = small.subpolynomial_factor() / 2**5
+        ratio_large = large.subpolynomial_factor() / 2**10
+        assert ratio_large < ratio_small
+
+    def test_theorem_bound_epsilon_scaling(self):
+        model = CostModel(1000, 10)
+        assert model.theorem_1_1_bound(0.1) == pytest.approx(
+            model.theorem_1_1_bound(0.2) * 8, rel=1e-9
+        )
+
+    def test_trivial_bound(self):
+        model = CostModel(100, 7)
+        assert model.trivial_upper_bound(500) == 514
+
+
+class TestCalibration:
+    """The model's primitive constants must dominate measured costs."""
+
+    def test_bfs_charge_covers_measured(self):
+        g = random_connected(30, 0.1, rng=3)
+        model = CostModel.for_graph(g)
+        _, rounds = build_bfs_tree(g, root=0)
+        assert rounds <= model.bfs_tree() + 1
+
+    def test_pipelined_charge_covers_measured(self):
+        g = grid(5, 6, rng=2)
+        model = CostModel.for_graph(g)
+        tree, _ = build_bfs_tree(g, root=0)
+        k = 10
+        values = [[1.0] * k for _ in g.nodes()]
+        _, rounds = pipelined_aggregate(g, tree, values)
+        assert rounds <= model.convergecast(items=k) + 2

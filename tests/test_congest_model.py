@@ -1,0 +1,181 @@
+"""Unit tests for the CONGEST simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.model import (
+    CongestNetwork,
+    Message,
+    NodeContext,
+    message_words,
+)
+from repro.errors import (
+    CongestModelError,
+    MessageTooLargeError,
+    RoundLimitExceededError,
+)
+from repro.graphs.generators import cycle, path
+from repro.graphs.graph import Graph
+
+
+class TestMessageWords:
+    def test_scalar_is_one_word(self):
+        assert message_words(5) == 1
+        assert message_words(3.14) == 1
+        assert message_words(True) == 1
+        assert message_words(None) == 1
+
+    def test_tuple_sums(self):
+        assert message_words((1, 2.0, None)) == 3
+
+    def test_string_packs_into_words(self):
+        assert message_words("ab") == 1
+        assert message_words("x" * 17) == 3
+
+    def test_dict_counts_keys_and_values(self):
+        assert message_words({"a": 1}) == 2
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CongestModelError):
+            message_words(object())
+
+
+class _Silent:
+    """Node that terminates immediately without sending."""
+
+    def init(self, ctx):
+        pass
+
+    def on_round(self, ctx, inbox):
+        return True
+
+
+class _PingOnce:
+    """Node 0 pings all neighbors in round 1; everyone records inbox."""
+
+    def __init__(self, node: int):
+        self.node = node
+        self.received: list[Message] = []
+        self._round = 0
+
+    def init(self, ctx):
+        pass
+
+    def on_round(self, ctx, inbox):
+        self.received.extend(inbox)
+        self._round += 1
+        if self.node == 0 and self._round == 1:
+            ctx.send_to_all_neighbors(("ping", 1))
+        return self._round >= 2
+
+
+class TestNetworkBasics:
+    def test_disconnected_topology_rejected(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        from repro.errors import DisconnectedGraphError
+
+        with pytest.raises(DisconnectedGraphError):
+            CongestNetwork(g)
+
+    def test_silent_algorithm_one_round(self):
+        net = CongestNetwork(path(4, rng=1))
+        result = net.run(lambda v: _Silent())
+        assert result.rounds == 1
+        assert result.messages_sent == 0
+
+    def test_ping_delivery_next_round(self):
+        net = CongestNetwork(path(3, rng=1))
+        result = net.run(lambda v: _PingOnce(v))
+        # Node 1 (neighbor of 0) received the ping, node 2 did not.
+        assert len(result.states[1].received) == 1
+        assert result.states[1].received[0].sender == 0
+        assert len(result.states[2].received) == 0
+
+    def test_round_limit_enforced(self):
+        class Forever:
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                return False
+
+        net = CongestNetwork(path(3, rng=1))
+        with pytest.raises(RoundLimitExceededError):
+            net.run(lambda v: Forever(), max_rounds=5)
+
+    def test_message_budget_enforced(self):
+        class Chatty:
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                ctx.send(ctx.incident[0][1], tuple(range(50)))
+                return True
+
+        net = CongestNetwork(path(3, rng=1))
+        with pytest.raises(MessageTooLargeError):
+            net.run(lambda v: Chatty())
+
+    def test_double_send_same_edge_rejected(self):
+        class DoubleSender:
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                edge = ctx.incident[0][1]
+                ctx.send(edge, 1)
+                ctx.send(edge, 2)
+                return True
+
+        net = CongestNetwork(path(2, rng=1))
+        with pytest.raises(CongestModelError):
+            net.run(lambda v: DoubleSender())
+
+    def test_send_on_foreign_edge_rejected(self):
+        class Spoofer:
+            def __init__(self, node):
+                self.node = node
+
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                if self.node == 0:
+                    ctx.send(1, "hi")  # edge 1 joins nodes 1 and 2
+                return True
+
+        net = CongestNetwork(path(3, rng=1))
+        with pytest.raises(CongestModelError):
+            net.run(lambda v: Spoofer(v))
+
+    def test_context_exposes_local_view_only(self):
+        g = cycle(5, rng=1)
+        net = CongestNetwork(g)
+        ctx = NodeContext(net, 2)
+        assert ctx.node == 2
+        assert ctx.num_nodes == 5
+        assert len(ctx.incident) == 2
+
+    def test_messages_in_flight_prevent_termination(self):
+        # A node that sends and immediately claims done: the run must
+        # still deliver the message before ending.
+        class SendAndQuit:
+            def __init__(self, node):
+                self.node = node
+                self.got = False
+
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                self.got = self.got or bool(inbox)
+                if self.node == 0 and not getattr(self, "_sent", False):
+                    ctx.send_to_all_neighbors("bye")
+                    self._sent = True
+                return True
+
+        net = CongestNetwork(path(2, rng=1))
+        result = net.run(lambda v: SendAndQuit(v))
+        assert result.states[1].got
+        assert result.rounds >= 2

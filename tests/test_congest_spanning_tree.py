@@ -1,0 +1,73 @@
+"""Tests for distributed Borůvka spanning trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import distributed_spanning_tree
+from repro.flow.mst import maximum_spanning_tree, minimum_spanning_tree
+from repro.graphs.generators import cycle, grid, path, random_connected
+from repro.graphs.graph import Graph
+from repro.graphs.trees import spanning_tree_from_edges
+
+
+def _kruskal_weight(graph, maximize):
+    tree = (
+        maximum_spanning_tree(graph) if maximize else minimum_spanning_tree(graph)
+    )
+    return sum(
+        tree.capacity[v] for v in range(graph.num_nodes) if tree.parent[v] >= 0
+    )
+
+
+class TestBoruvka:
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1, 5.0)])
+        run = distributed_spanning_tree(g)
+        assert run.tree_edges == [0]
+        assert run.total_weight == 5.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_matches_kruskal(self, seed):
+        g = random_connected(16, 0.25, rng=seed)
+        run = distributed_spanning_tree(g, maximize=False)
+        assert run.total_weight == pytest.approx(_kruskal_weight(g, False))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_max_matches_kruskal(self, seed):
+        g = random_connected(14, 0.3, rng=seed + 40)
+        run = distributed_spanning_tree(g, maximize=True)
+        assert run.total_weight == pytest.approx(_kruskal_weight(g, True))
+
+    def test_result_spans(self):
+        g = grid(4, 5, rng=51)
+        run = distributed_spanning_tree(g)
+        spanning_tree_from_edges(g, run.tree_edges)  # raises if invalid
+
+    def test_cycle_drops_heaviest_for_min(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 100.0)])
+        run = distributed_spanning_tree(g, maximize=False)
+        assert 2 not in run.tree_edges
+
+    def test_cycle_keeps_heaviest_for_max(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 100.0)])
+        run = distributed_spanning_tree(g, maximize=True)
+        assert 2 in run.tree_edges
+
+    def test_phases_logarithmic(self):
+        g = path(16, rng=52)
+        run = distributed_spanning_tree(g)
+        # Borůvka needs ceil(log2 n) + 1 scheduled phases.
+        assert run.phases <= 16 .bit_length() + 1
+
+    def test_parallel_edges_pick_best(self):
+        g = Graph(2, [(0, 1, 5.0), (0, 1, 2.0)])
+        run = distributed_spanning_tree(g, maximize=False)
+        assert run.tree_edges == [1]
+        run = distributed_spanning_tree(g, maximize=True)
+        assert run.tree_edges == [0]
+
+    def test_rounds_reported(self):
+        g = cycle(10, rng=53)
+        run = distributed_spanning_tree(g)
+        assert run.rounds > 0

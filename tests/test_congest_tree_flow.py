@@ -1,0 +1,70 @@
+"""Tests for the distributed Lemma 8.1 tree-flow aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import distributed_tree_flow
+from repro.graphs.generators import (
+    caterpillar,
+    grid,
+    path,
+    random_connected,
+    star,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.trees import bfs_tree, induced_cut_capacities
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: random_connected(18, 0.2, rng=1),
+        lambda: grid(4, 5, rng=2),
+        lambda: path(10, rng=3),
+        lambda: star(8, rng=4),
+        lambda: caterpillar(6, 2, rng=5),
+    ],
+    ids=["random", "grid", "path", "star", "caterpillar"],
+)
+def test_matches_centralized(make):
+    g = make()
+    tree = bfs_tree(g, root=0)
+    run = distributed_tree_flow(g, tree)
+    central = induced_cut_capacities(g, tree)
+    children = [v for v in range(g.num_nodes) if tree.parent[v] >= 0]
+    np.testing.assert_allclose(
+        run.cut_capacity[children], central[children], rtol=1e-9
+    )
+
+
+def test_rounds_linear_in_depth():
+    """Lemma 8.1: O(d) rounds for a depth-d tree."""
+    g = path(30, rng=6)
+    tree = bfs_tree(g, root=0)
+    run = distributed_tree_flow(g, tree)
+    assert run.rounds <= 6 * (tree.height() + 2)
+
+
+def test_shallow_tree_fast():
+    g = star(12, rng=7)
+    tree = bfs_tree(g, root=0)
+    run = distributed_tree_flow(g, tree)
+    assert run.rounds <= 20
+
+
+def test_parallel_edges_counted():
+    g = Graph(3, [(0, 1, 2.0), (0, 1, 3.0), (1, 2, 4.0)])
+    tree = bfs_tree(g, root=0)
+    run = distributed_tree_flow(g, tree)
+    central = induced_cut_capacities(g, tree)
+    np.testing.assert_allclose(run.cut_capacity[1:], central[1:])
+
+
+def test_triangle_with_chord():
+    g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+    tree = bfs_tree(g, root=0)
+    run = distributed_tree_flow(g, tree)
+    central = induced_cut_capacities(g, tree)
+    np.testing.assert_allclose(run.cut_capacity[1:], central[1:])

@@ -1,0 +1,94 @@
+"""Unit tests for cut utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.cuts import (
+    cut_capacity,
+    cut_congestion_lower_bound,
+    cut_demand,
+    cut_edges,
+    enumerate_cut_capacities,
+    sparsest_cut_brute_force,
+)
+from repro.graphs.graph import Graph
+
+
+def square() -> Graph:
+    return Graph(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)]
+    )
+
+
+class TestCutBasics:
+    def test_cut_capacity(self):
+        assert cut_capacity(square(), [0]) == pytest.approx(5.0)
+
+    def test_cut_capacity_symmetric(self):
+        g = square()
+        assert cut_capacity(g, [0, 1]) == cut_capacity(g, [2, 3])
+
+    def test_cut_edges(self):
+        assert sorted(cut_edges(square(), [0, 1])) == [1, 3]
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(GraphError):
+            cut_capacity(square(), [])
+
+    def test_full_side_rejected(self):
+        with pytest.raises(GraphError):
+            cut_capacity(square(), [0, 1, 2, 3])
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(GraphError):
+            cut_capacity(square(), [9])
+
+    def test_cut_demand_absolute_value(self):
+        assert cut_demand([3.0, -1.0, -2.0, 0.0], [1, 2]) == pytest.approx(3.0)
+
+    def test_congestion_lower_bound(self):
+        g = square()
+        b = [1.0, 0.0, -1.0, 0.0]
+        # Cut {0}: crossing demand 1, capacity 5.
+        assert cut_congestion_lower_bound(g, b, [0]) == pytest.approx(0.2)
+
+
+class TestEnumeration:
+    def test_enumeration_count(self):
+        cuts = enumerate_cut_capacities(square())
+        assert len(cuts) == 2 ** 3 - 1
+
+    def test_enumeration_guard(self):
+        g = Graph(25, [(i, i + 1, 1.0) for i in range(24)])
+        with pytest.raises(GraphError):
+            enumerate_cut_capacities(g)
+
+    def test_sparsest_cut_matches_maxflow(self):
+        # For an s-t demand, the most congested cut's congestion equals
+        # value / maxflow (max-flow min-cut).
+        from repro.flow import dinic_max_flow
+        from repro.graphs.generators import random_connected
+
+        g = random_connected(10, 0.3, rng=17)
+        b = np.zeros(10)
+        b[0], b[9] = 1.0, -1.0
+        _, congestion = sparsest_cut_brute_force(g, b)
+        exact = dinic_max_flow(g, 0, 9).value
+        assert congestion == pytest.approx(1.0 / exact)
+
+    def test_sparsest_cut_side_contains_demand_separator(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 100.0)])
+        side, congestion = sparsest_cut_brute_force(g, [1.0, 0.0, -1.0])
+        # The bottleneck is the capacity-1 edge.
+        assert congestion == pytest.approx(1.0)
+        assert side in ({frozenset({0})}, {frozenset({0, 1})}) or side in (
+            frozenset({0}),
+            frozenset({0, 1}),
+        )
+
+    def test_zero_demand_zero_congestion(self):
+        _, congestion = sparsest_cut_brute_force(square(), [0.0] * 4)
+        assert congestion == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the embedding diagnostics (Definition 8.1 empirically)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.graphs.generators import grid, random_connected
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
+from repro.jtree import embedding_report, sample_virtual_tree
+
+
+class TestEmbeddingReport:
+    def test_virtual_congestion_is_one_for_hierarchy_trees(self):
+        """G 1-embeds into its virtual trees: with induced-cut
+        capacities the embedding load equals the capacity exactly."""
+        g = random_connected(30, 0.12, rng=411)
+        vt = sample_virtual_tree(g, rng=412)
+        report = embedding_report(g, vt.tree)
+        children = [v for v in range(30) if vt.tree.parent[v] >= 0]
+        np.testing.assert_allclose(
+            report.virtual_congestion[children], 1.0, rtol=1e-9
+        )
+
+    def test_physical_rload_at_least_one(self):
+        """A tree edge's induced cut contains the edge itself, so the
+        physical load is at least the edge's own capacity."""
+        g = grid(5, 5, rng=413)
+        tree = bfs_tree(g, root=0)
+        tree = RootedTree(tree.parent, induced_cut_capacities(g, tree))
+        report = embedding_report(g, tree)
+        children = [v for v in range(25) if tree.parent[v] >= 0]
+        assert all(report.physical_rload[v] >= 1.0 - 1e-9 for v in children)
+
+    def test_summary_statistics_consistent(self):
+        g = random_connected(25, 0.15, rng=414)
+        vt = sample_virtual_tree(g, rng=415)
+        report = embedding_report(g, vt.tree)
+        assert report.max_physical_rload >= report.mean_physical_rload
+        assert report.max_physical_rload >= 1.0
+
+    def test_non_graph_edge_rejected(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        fake = RootedTree([-1, 0, 0], [0.0, 1.0, 1.0])
+        with pytest.raises(TreeError):
+            embedding_report(g, fake)
+
+    def test_size_mismatch_rejected(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(TreeError):
+            embedding_report(g, RootedTree([-1, 0]))
+
+    def test_star_center_tree(self):
+        """On a star, every subtree cut is a single leaf edge: loads
+        equal capacities, physical rload exactly 1."""
+        from repro.graphs.generators import star
+
+        g = star(6, rng=416)
+        tree = bfs_tree(g, root=0)
+        tree = RootedTree(tree.parent, induced_cut_capacities(g, tree))
+        report = embedding_report(g, tree)
+        children = [v for v in range(7) if tree.parent[v] >= 0]
+        np.testing.assert_allclose(
+            report.physical_rload[children], 1.0, rtol=1e-9
+        )

@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example and tool must run cleanly."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_experiment_tool_quick():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "run_experiments.py"), "--quick"],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in ("E1:", "E2:", "E3:", "E4:", "E5:", "E6:"):
+        assert marker in result.stdout

@@ -1,0 +1,185 @@
+"""Failure-injection tests: degenerate and hostile inputs across the
+whole public API must fail loudly with typed errors (or handle the
+degeneracy correctly), never silently corrupt results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_congestion_approximator,
+    max_flow,
+    min_congestion_flow,
+)
+from repro.errors import (
+    DisconnectedGraphError,
+    GraphError,
+    InvalidDemandError,
+    ReproError,
+)
+from repro.flow import dinic_max_flow, gomory_hu_tree
+from repro.graphs.generators import random_connected
+from repro.graphs.graph import Graph
+from repro.jtree import sample_virtual_tree
+from repro.lsst import akpw_spanning_tree
+from repro.sparsify import sparsify
+from repro.util.validation import st_demand
+
+
+@pytest.fixture(scope="module")
+def disconnected():
+    return Graph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+
+
+class TestDisconnectedInputs:
+    def test_approximator_rejects(self, disconnected):
+        with pytest.raises(DisconnectedGraphError):
+            build_congestion_approximator(disconnected, rng=1)
+
+    def test_max_flow_rejects(self, disconnected):
+        with pytest.raises(DisconnectedGraphError):
+            max_flow(disconnected, 0, 5, rng=1)
+
+    def test_virtual_tree_rejects(self, disconnected):
+        with pytest.raises(DisconnectedGraphError):
+            sample_virtual_tree(disconnected, rng=1)
+
+    def test_lsst_rejects(self, disconnected):
+        with pytest.raises(DisconnectedGraphError):
+            akpw_spanning_tree(disconnected, rng=1)
+
+    def test_gomory_hu_rejects(self, disconnected):
+        with pytest.raises(DisconnectedGraphError):
+            gomory_hu_tree(disconnected)
+
+    def test_exact_oracle_tolerates_cross_component_terminals(
+        self, disconnected
+    ):
+        # Dinic is the one API that meaningfully answers: flow is 0.
+        assert dinic_max_flow(disconnected, 0, 5).value == 0.0
+
+    def test_all_errors_are_repro_errors(self, disconnected):
+        with pytest.raises(ReproError):
+            build_congestion_approximator(disconnected, rng=1)
+
+
+class TestDegenerateDemands:
+    def test_huge_capacities(self):
+        g = Graph(3, [(0, 1, 1e12), (1, 2, 1e12), (0, 2, 1e-3)])
+        approx = build_congestion_approximator(g, num_trees=2, rng=2)
+        result = max_flow(g, 0, 2, epsilon=0.5, approximator=approx)
+        exact = dinic_max_flow(g, 0, 2).value
+        assert result.value >= exact / 2.0
+        assert result.value <= exact * (1 + 1e-9)
+
+    def test_extreme_capacity_ratio_demand(self):
+        g = Graph(4, [(0, 1, 1e9), (1, 2, 1.0), (2, 3, 1e9)])
+        approx = build_congestion_approximator(g, num_trees=2, rng=3)
+        result = max_flow(g, 0, 3, epsilon=0.5, approximator=approx)
+        assert result.value == pytest.approx(1.0, rel=0.3)
+
+    def test_demand_on_wrong_sized_vector(self, small_graph):
+        approx = build_congestion_approximator(small_graph, num_trees=2, rng=4)
+        with pytest.raises(InvalidDemandError):
+            min_congestion_flow(
+                small_graph, np.zeros(3), approximator=approx
+            )
+
+    def test_nan_demand_rejected(self, small_graph, small_approximator):
+        demand = np.zeros(small_graph.num_nodes)
+        demand[0] = np.nan
+        with pytest.raises(InvalidDemandError):
+            min_congestion_flow(
+                small_graph, demand, approximator=small_approximator
+            )
+
+    def test_tiny_epsilon_still_terminates(self, small_graph, small_approximator):
+        # Pathologically tight epsilon with a small iteration budget:
+        # must return un-converged rather than hang.
+        from repro.core.almost_route import almost_route
+
+        result = almost_route(
+            small_graph,
+            small_approximator,
+            st_demand(small_graph, 0, 5),
+            epsilon=0.01,
+            max_iterations=50,
+        )
+        assert not result.converged
+        assert result.iterations == 50
+
+
+class TestHostileGraphShapes:
+    def test_single_node_flows(self):
+        g = Graph(1)
+        with pytest.raises(ReproError):
+            max_flow(g, 0, 0, rng=1)
+
+    def test_two_node_multigraph(self):
+        g = Graph(2, [(0, 1, 1.0)] * 5)
+        approx = build_congestion_approximator(g, num_trees=2, rng=5)
+        result = max_flow(g, 0, 1, epsilon=0.4, approximator=approx)
+        assert result.value == pytest.approx(5.0, rel=0.1)
+
+    def test_sparsifier_on_tree_is_identity(self):
+        from repro.graphs.generators import path
+
+        g = path(20, rng=6)
+        result = sparsify(g, rng=7)
+        assert result.graph.num_edges == g.num_edges
+
+    def test_deep_path_hierarchy(self):
+        from repro.graphs.generators import path
+
+        g = path(60, rng=8)
+        vt = sample_virtual_tree(g, rng=9)
+        # Spanning tree of a path IS the path.
+        assert vt.tree.num_nodes == 60
+
+    def test_heavy_parallel_edges(self):
+        g = Graph(3, [(0, 1, 1.0)] * 10 + [(1, 2, 100.0)])
+        vt = sample_virtual_tree(g, rng=10)
+        child_of_pair = None
+        for v in range(3):
+            p = vt.tree.parent[v]
+            if p >= 0 and {v, p} == {0, 1}:
+                child_of_pair = v
+        assert child_of_pair is not None
+        # The 0-1 cut capacity must count all 10 parallel edges.
+        assert vt.tree.capacity[child_of_pair] == pytest.approx(10.0)
+
+
+class TestBudgetExhaustion:
+    def test_round_limit_typed_error(self):
+        from repro.congest import CongestNetwork
+        from repro.errors import RoundLimitExceededError
+
+        class Forever:
+            def init(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                return False
+
+        g = random_connected(6, 0.3, rng=11)
+        with pytest.raises(RoundLimitExceededError):
+            CongestNetwork(g).run(lambda v: Forever(), max_rounds=3)
+
+    def test_unconverged_flow_still_exact_conservation(
+        self, small_graph, small_approximator
+    ):
+        """Even when the descent is cut off early, Algorithm 1's tree
+        fix-up must deliver an exactly conserving flow."""
+        demand = st_demand(small_graph, 0, 5, 2.0)
+        result = min_congestion_flow(
+            small_graph,
+            demand,
+            epsilon=0.3,
+            approximator=small_approximator,
+            max_iterations=5,
+        )
+        from repro.util.validation import check_flow_conservation
+
+        check_flow_conservation(small_graph, result.flow, demand)
+        assert not result.converged

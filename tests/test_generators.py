@@ -1,0 +1,152 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+
+
+class TestBasicShapes:
+    def test_path_edge_count(self):
+        g = gen.path(10, rng=1)
+        assert g.num_nodes == 10
+        assert g.num_edges == 9
+        assert g.diameter() == 9
+
+    def test_cycle_edge_count(self):
+        g = gen.cycle(8, rng=1)
+        assert g.num_edges == 8
+        assert g.diameter() == 4
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(GraphError):
+            gen.cycle(2)
+
+    def test_complete_edge_count(self):
+        g = gen.complete(7, rng=1)
+        assert g.num_edges == 21
+        assert g.diameter() == 1
+
+    def test_star_shape(self):
+        g = gen.star(6, rng=1)
+        assert g.num_nodes == 7
+        assert g.degree(0) == 6
+        assert g.diameter() == 2
+
+    def test_grid_shape(self):
+        g = gen.grid(3, 4, rng=1)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_connected()
+
+    def test_grid_uniform_capacity(self):
+        g = gen.grid(3, 3, uniform_capacity=5.0)
+        assert all(e.capacity == 5.0 for e in g.edges())
+
+    def test_torus_is_regular(self):
+        g = gen.torus(4, 5, rng=1)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(GraphError):
+            gen.torus(2, 5)
+
+    def test_hypercube(self):
+        g = gen.hypercube(4, rng=1)
+        assert g.num_nodes == 16
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.diameter() == 4
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_reproducible(self):
+        a = gen.erdos_renyi(20, 0.3, rng=42)
+        b = gen.erdos_renyi(20, 0.3, rng=42)
+        assert a.num_edges == b.num_edges
+
+    def test_erdos_renyi_p_zero_empty(self):
+        assert gen.erdos_renyi(10, 0.0, rng=1).num_edges == 0
+
+    def test_erdos_renyi_p_one_complete(self):
+        g = gen.erdos_renyi(10, 1.0, rng=1)
+        assert g.num_edges == 45
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            assert gen.random_connected(30, 0.02, rng=seed).is_connected()
+
+    def test_random_connected_minimum_edges(self):
+        g = gen.random_connected(15, 0.0, rng=3)
+        assert g.num_edges == 14  # exactly a spanning tree
+
+    def test_expander_connected_low_diameter(self):
+        g = gen.random_regular_expander(64, degree=6, rng=5)
+        assert g.is_connected()
+        assert g.diameter() <= 6
+
+    def test_expander_odd_degree_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_regular_expander(10, degree=3)
+
+    def test_random_geometric_default_radius_connects(self):
+        # Above-threshold default radius should usually connect.
+        connected = sum(
+            gen.random_geometric(40, rng=seed).is_connected()
+            for seed in range(5)
+        )
+        assert connected >= 3
+
+    def test_capacities_are_positive_integers(self):
+        g = gen.random_connected(20, 0.1, rng=9, max_capacity=50)
+        for e in g.edges():
+            assert e.capacity == int(e.capacity)
+            assert 1 <= e.capacity <= 50
+
+
+class TestStructuredInstances:
+    def test_barbell_bridge_is_min_cut(self):
+        g = gen.barbell(6, bridge_capacity=1.5, rng=2)
+        from repro.flow import dinic_max_flow
+
+        assert dinic_max_flow(g, 0, 6).value == pytest.approx(1.5)
+
+    def test_barbell_long_bridge(self):
+        g = gen.barbell(4, bridge_length=5, bridge_capacity=1.0, rng=2)
+        assert g.is_connected()
+        assert g.num_nodes == 8 + 4
+
+    def test_caterpillar_is_tree(self):
+        g = gen.caterpillar(5, 3, rng=1)
+        assert g.num_edges == g.num_nodes - 1
+        assert g.is_connected()
+
+    def test_weighted_variant_preserves_topology(self):
+        g = gen.grid(4, 4, rng=1)
+        w = gen.weighted_variant(g, spread=1000.0, rng=2)
+        assert w.num_edges == g.num_edges
+        assert all(
+            w.endpoints(e) == g.endpoints(e) for e in range(g.num_edges)
+        )
+
+    def test_weighted_variant_spread_validated(self):
+        g = gen.grid(3, 3, rng=1)
+        with pytest.raises(GraphError):
+            gen.weighted_variant(g, spread=0.5)
+
+    def test_push_relabel_hard_instance_value(self):
+        g = gen.push_relabel_hard_instance(10)
+        from repro.flow import dinic_max_flow
+
+        assert dinic_max_flow(g, 0, 10).value == pytest.approx(1.0)
+
+    def test_push_relabel_hard_instance_validates(self):
+        with pytest.raises(GraphError):
+            gen.push_relabel_hard_instance(1)
+
+    def test_generator_accepts_generator_object(self):
+        rng = np.random.default_rng(0)
+        g = gen.random_connected(10, 0.1, rng=rng)
+        assert g.is_connected()

@@ -1,0 +1,92 @@
+"""Tests for Gomory–Hu trees, including the exhaustive approximator
+soundness check they enable."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import build_congestion_approximator
+from repro.errors import GraphError
+from repro.flow import dinic_max_flow, gomory_hu_tree
+from repro.graphs.generators import barbell, grid, random_connected
+from repro.graphs.graph import Graph
+from repro.util.validation import st_demand
+
+
+class TestConstruction:
+    def test_two_nodes(self):
+        g = Graph(2, [(0, 1, 7.0)])
+        ght = gomory_hu_tree(g)
+        assert ght.min_cut_value(0, 1) == pytest.approx(7.0)
+
+    def test_path_graph(self):
+        g = Graph(4, [(0, 1, 5.0), (1, 2, 2.0), (2, 3, 8.0)])
+        ght = gomory_hu_tree(g)
+        assert ght.min_cut_value(0, 3) == pytest.approx(2.0)
+        assert ght.min_cut_value(0, 1) == pytest.approx(5.0)
+        assert ght.min_cut_value(2, 3) == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_pairs_match_dinic(self, seed):
+        g = random_connected(10, 0.3, rng=seed)
+        ght = gomory_hu_tree(g)
+        for u, v in itertools.combinations(range(10), 2):
+            exact = dinic_max_flow(g, u, v).value
+            assert ght.min_cut_value(u, v) == pytest.approx(exact, rel=1e-9)
+
+    def test_grid_all_pairs(self):
+        g = grid(3, 4, rng=11)
+        ght = gomory_hu_tree(g)
+        for u, v in itertools.combinations(range(12), 2):
+            exact = dinic_max_flow(g, u, v).value
+            assert ght.min_cut_value(u, v) == pytest.approx(exact, rel=1e-9)
+
+    def test_barbell_bridge_dominates(self):
+        g = barbell(5, bridge_capacity=1.5, rng=12)
+        ght = gomory_hu_tree(g)
+        # Every cross-clique pair has min cut 1.5.
+        for u in range(5):
+            for v in range(5, 10):
+                assert ght.min_cut_value(u, v) == pytest.approx(1.5)
+
+    def test_same_node_rejected(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        ght = gomory_hu_tree(g)
+        with pytest.raises(GraphError):
+            ght.min_cut_value(1, 1)
+
+    def test_disconnected_rejected(self):
+        from repro.errors import DisconnectedGraphError
+
+        g = Graph(3, [(0, 1, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            gomory_hu_tree(g)
+
+    def test_all_pairs_matrix_symmetry(self):
+        g = random_connected(8, 0.4, rng=13)
+        matrix = gomory_hu_tree(g).all_pairs_min_cut()
+        assert np.all(matrix == matrix.T)
+        assert np.all(np.isinf(np.diag(matrix)))
+
+
+class TestApproximatorSoundnessExhaustive:
+    """Soundness of R against *every* s-t pair via the GH tree."""
+
+    def test_estimate_below_opt_for_all_pairs(self):
+        g = random_connected(14, 0.25, rng=14)
+        approx = build_congestion_approximator(g, rng=15)
+        ght = gomory_hu_tree(g)
+        worst_alpha = 1.0
+        for u, v in itertools.combinations(range(14), 2):
+            opt = 1.0 / ght.min_cut_value(u, v)
+            estimate = approx.estimate(st_demand(g, u, v))
+            assert estimate <= opt + 1e-9  # soundness, every pair
+            if estimate > 0:
+                worst_alpha = max(worst_alpha, opt / estimate)
+        # And the estimated alpha covers the true worst case (with its
+        # x2 safety factor it should, on sampled trials it may not —
+        # assert the all-pairs alpha is at most a small multiple).
+        assert worst_alpha <= 4.0 * approx.alpha

@@ -1,0 +1,246 @@
+"""Unit tests for the core Graph multigraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs.graph import Edge, Graph
+
+
+def triangle() -> Graph:
+    return Graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+
+
+class TestConstruction:
+    def test_empty_graph_has_no_edges(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-3)
+
+    def test_add_edge_returns_sequential_ids(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1, 1.0) == 0
+        assert g.add_edge(1, 2, 1.0) == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_out_of_range_endpoint_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2, 1.0)
+
+    def test_zero_capacity_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0.0)
+
+    def test_negative_capacity_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_nan_capacity_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, float("nan"))
+
+    def test_infinite_capacity_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, float("inf"))
+
+    def test_parallel_edges_kept_separate(self):
+        g = Graph(2, [(0, 1, 1.0), (0, 1, 2.0)])
+        assert g.num_edges == 2
+        assert g.capacity(0) == 1.0
+        assert g.capacity(1) == 2.0
+
+    def test_from_edge_arrays_round_trip(self):
+        g = Graph.from_edge_arrays(3, [0, 1], [1, 2], [4.0, 5.0])
+        assert g.num_edges == 2
+        assert g.endpoints(1) == (1, 2)
+
+    def test_from_edge_arrays_length_mismatch(self):
+        with pytest.raises(GraphError):
+            Graph.from_edge_arrays(3, [0, 1], [1], [4.0, 5.0])
+
+    def test_copy_is_independent(self):
+        g = triangle()
+        h = g.copy()
+        h.set_capacity(0, 99.0)
+        assert g.capacity(0) == 1.0
+
+
+class TestAccessors:
+    def test_edge_object_fields(self):
+        g = triangle()
+        e = g.edge(1)
+        assert e == Edge(1, 1, 2, 2.0)
+
+    def test_edge_other_endpoint(self):
+        e = Edge(0, 3, 7, 1.0)
+        assert e.other(3) == 7
+        assert e.other(7) == 3
+
+    def test_edge_other_rejects_non_endpoint(self):
+        e = Edge(0, 3, 7, 1.0)
+        with pytest.raises(GraphError):
+            e.other(5)
+
+    def test_edge_id_out_of_range(self):
+        with pytest.raises(GraphError):
+            triangle().edge(3)
+
+    def test_edges_iterates_in_id_order(self):
+        ids = [e.id for e in triangle().edges()]
+        assert ids == [0, 1, 2]
+
+    def test_neighbors_lists_all_incident_edges(self):
+        g = triangle()
+        assert sorted(g.neighbors(0)) == [(1, 0), (2, 2)]
+
+    def test_degree_counts_parallel_edges(self):
+        g = Graph(2, [(0, 1, 1.0), (0, 1, 1.0)])
+        assert g.degree(0) == 2
+
+    def test_capacities_vector(self):
+        caps = triangle().capacities()
+        np.testing.assert_allclose(caps, [1.0, 2.0, 3.0])
+
+    def test_set_capacity_validates(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.set_capacity(0, -1.0)
+
+    def test_total_capacity(self):
+        assert triangle().total_capacity() == 6.0
+
+    def test_edge_index_arrays(self):
+        tails, heads = triangle().edge_index_arrays()
+        assert tails.tolist() == [0, 1, 0]
+        assert heads.tolist() == [1, 2, 2]
+
+
+class TestFlowOperators:
+    def test_excess_of_zero_flow_is_zero(self):
+        g = triangle()
+        np.testing.assert_allclose(g.excess(np.zeros(3)), 0.0)
+
+    def test_excess_signs_follow_orientation(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        excess = g.excess(np.array([2.0]))
+        # Edge 0->1 carrying +2: node 1 gains, node 0 loses.
+        np.testing.assert_allclose(excess, [-2.0, 2.0])
+
+    def test_excess_wrong_shape_rejected(self):
+        with pytest.raises(GraphError):
+            triangle().excess(np.zeros(2))
+
+    def test_excess_sums_to_zero(self, rng):
+        g = triangle()
+        flow = rng.normal(size=3)
+        assert abs(g.excess(flow).sum()) < 1e-12
+
+    def test_congestion(self):
+        g = triangle()
+        cong = g.congestion(np.array([1.0, -1.0, 1.5]))
+        np.testing.assert_allclose(cong, [1.0, 0.5, 0.5])
+
+
+class TestConnectivity:
+    def test_triangle_connected(self):
+        assert triangle().is_connected()
+
+    def test_isolated_node_disconnects(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        assert not g.is_connected()
+        assert len(g.connected_components()) == 2
+
+    def test_require_connected_raises(self):
+        g = Graph(2)
+        with pytest.raises(DisconnectedGraphError):
+            g.require_connected()
+
+    def test_bfs_distances(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        assert g.bfs_distances(0) == [0, 1, 2, 3]
+
+    def test_bfs_unreachable_is_minus_one(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        assert g.bfs_distances(0)[2] == -1
+
+    def test_diameter_of_path(self):
+        g = Graph(5, [(i, i + 1, 1.0) for i in range(4)])
+        assert g.diameter() == 4
+
+    def test_diameter_requires_connected(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            g.diameter()
+
+    def test_eccentricity(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        assert g.eccentricity(1) == 2
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            g.eccentricity(0)
+
+
+class TestContraction:
+    def test_contract_merges_nodes(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        q, origin = g.contract([0, 0, 1, 1])
+        assert q.num_nodes == 2
+        assert q.num_edges == 1  # only 1-2 crosses
+        assert origin == [1]
+
+    def test_contract_keeps_parallel_edges(self):
+        g = Graph(4, [(0, 2, 1.0), (1, 3, 2.0)])
+        q, origin = g.contract([0, 0, 1, 1], keep_parallel=True)
+        assert q.num_edges == 2
+
+    def test_contract_merge_sums_capacities(self):
+        g = Graph(4, [(0, 2, 1.0), (1, 3, 2.0)])
+        q, origin = g.contract([0, 0, 1, 1], keep_parallel=False)
+        assert q.num_edges == 1
+        assert q.capacity(0) == 3.0
+
+    def test_contract_drops_internal_edges(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        q, _ = g.contract([5, 5, 9])
+        assert q.num_edges == 1
+
+    def test_contract_label_length_checked(self):
+        with pytest.raises(GraphError):
+            triangle().contract([0, 1])
+
+    def test_contract_arbitrary_labels_compacted(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        q, _ = g.contract([100, -5, 100])
+        assert q.num_nodes == 2
+
+    def test_node_map_after_contract_matches(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        node_map = g.node_map_after_contract([7, 7, 3])
+        assert node_map == [0, 0, 1]
+
+    def test_edge_subgraph(self):
+        g = triangle()
+        sub = g.edge_subgraph([0, 2])
+        assert sub.num_edges == 2
+        assert sub.num_nodes == 3

@@ -1,0 +1,87 @@
+"""Tests for DIMACS / JSON graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import dinic_max_flow
+from repro.graphs import read_dimacs, read_json, write_dimacs, write_json
+from repro.graphs.generators import random_connected
+from repro.graphs.graph import Graph
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = random_connected(15, 0.2, rng=301)
+        path = tmp_path / "g.dimacs"
+        write_dimacs(g, path, source=0, sink=14)
+        loaded, s, t = read_dimacs(path)
+        assert (s, t) == (0, 14)
+        assert loaded.num_nodes == g.num_nodes
+        # Max flow must survive the round trip (parallel edges may be
+        # folded, which preserves all cut values).
+        assert dinic_max_flow(loaded, 0, 14).value == pytest.approx(
+            dinic_max_flow(g, 0, 14).value
+        )
+
+    def test_reads_directed_instance_folded(self, tmp_path):
+        content = "\n".join(
+            [
+                "c comment",
+                "p max 3 4",
+                "n 1 s",
+                "n 3 t",
+                "a 1 2 5",
+                "a 2 1 3",
+                "a 2 3 4",
+                "a 3 2 4",
+            ]
+        )
+        path = tmp_path / "d.dimacs"
+        path.write_text(content)
+        g, s, t = read_dimacs(path)
+        assert g.num_edges == 2
+        caps = sorted(e.capacity for e in g.edges())
+        assert caps == [8.0, 8.0]
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "l.dimacs"
+        path.write_text("p max 2 2\nn 1 s\nn 2 t\na 1 1 5\na 1 2 3\n")
+        g, _, _ = read_dimacs(path)
+        assert g.num_edges == 1
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("n 1 s\nn 2 t\na 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_missing_terminals(self, tmp_path):
+        path = tmp_path / "bad2.dimacs"
+        path.write_text("p max 2 1\na 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad3.dimacs"
+        path.write_text("p max 2 1\nn 1 s\nn 2 t\nx 1 2\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+
+class TestJson:
+    def test_round_trip_exact(self, tmp_path):
+        g = Graph(3, [(0, 1, 2.5), (1, 2, 3.0), (0, 1, 1.0)])
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert loaded.num_nodes == 3
+        assert loaded.num_edges == 3  # parallel edges preserved
+        assert [e.capacity for e in loaded.edges()] == [2.5, 3.0, 1.0]
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": 3}')
+        with pytest.raises(GraphError):
+            read_json(path)

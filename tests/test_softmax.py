@@ -1,0 +1,81 @@
+"""Tests for the symmetric soft-max (paper §9.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.softmax import smax, smax_and_gradient, smax_gradient
+
+
+class TestValue:
+    def test_zero_vector(self):
+        # smax(0) = log(2k).
+        assert smax(np.zeros(5)) == pytest.approx(math.log(10))
+
+    def test_upper_bounds_infinity_norm(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=20) * 3
+        assert smax(y) >= np.abs(y).max()
+
+    def test_infinity_norm_plus_log_bound(self):
+        rng = np.random.default_rng(2)
+        y = rng.normal(size=20) * 3
+        assert smax(y) <= np.abs(y).max() + math.log(2 * 20)
+
+    def test_symmetry(self):
+        y = np.array([1.0, -2.0, 3.0])
+        assert smax(y) == pytest.approx(smax(-y))
+
+    def test_no_overflow_on_huge_arguments(self):
+        y = np.array([1000.0, -999.0])
+        value = smax(y)
+        assert np.isfinite(value)
+        assert value == pytest.approx(1000.0, abs=1.0)
+
+    def test_empty_vector(self):
+        assert smax(np.zeros(0)) == float("-inf")
+
+
+class TestGradient:
+    def test_gradient_l1_bounded_by_one(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            y = rng.normal(size=15) * 5
+            g = smax_gradient(y)
+            assert np.abs(g).sum() <= 1.0 + 1e-12
+
+    def test_gradient_sign_matches_argument(self):
+        y = np.array([2.0, -3.0, 0.0])
+        g = smax_gradient(y)
+        assert g[0] > 0
+        assert g[1] < 0
+        assert g[2] == pytest.approx(0.0)
+
+    def test_finite_difference(self):
+        rng = np.random.default_rng(4)
+        y = rng.normal(size=8)
+        g = smax_gradient(y)
+        h = 1e-6
+        for i in range(8):
+            bump = y.copy()
+            bump[i] += h
+            numeric = (smax(bump) - smax(y)) / h
+            assert g[i] == pytest.approx(numeric, abs=1e-4)
+
+    def test_gradient_concentrates_on_max(self):
+        y = np.array([10.0, 1.0, 1.0])
+        g = smax_gradient(y)
+        assert g[0] > 0.99
+
+    def test_combined_matches_separate(self):
+        y = np.array([1.0, 2.0, -1.5])
+        value, grad = smax_and_gradient(y)
+        assert value == pytest.approx(smax(y))
+        np.testing.assert_allclose(grad, smax_gradient(y))
+
+    def test_no_overflow_gradient(self):
+        g = smax_gradient(np.array([800.0, -800.0, 0.0]))
+        assert np.all(np.isfinite(g))

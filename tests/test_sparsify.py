@@ -1,0 +1,149 @@
+"""Tests for spanners, cut sparsifiers, and edge orientation (§6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.cuts import cut_capacity
+from repro.graphs.generators import (
+    complete,
+    erdos_renyi,
+    grid,
+    random_connected,
+)
+from repro.graphs.graph import Graph
+from repro.sparsify import (
+    baswana_sen_spanner,
+    orient_edges,
+    sparsification_target,
+    sparsify,
+)
+
+
+class TestSpanner:
+    def test_spanner_preserves_connectivity(self):
+        g = complete(40, rng=1)
+        result = baswana_sen_spanner(g, rng=2)
+        assert g.edge_subgraph(result.edge_ids).is_connected()
+
+    def test_spanner_is_sparse_on_dense_graphs(self):
+        g = complete(60, rng=3)
+        result = baswana_sen_spanner(g, rng=4)
+        n = g.num_nodes
+        assert len(result.edge_ids) < 4 * n * np.log2(n)
+
+    def test_spanner_of_tree_is_whole_tree(self):
+        from repro.graphs.generators import path
+
+        g = path(15, rng=1)
+        result = baswana_sen_spanner(g, rng=5)
+        assert sorted(result.edge_ids) == list(range(14))
+
+    def test_spanner_stretch_bounded(self):
+        # O(log n) stretch w.r.t. lengths 1/cap; verify hop stretch on a
+        # moderate instance stays small.
+        g = erdos_renyi(40, 0.3, rng=6)
+        g.require_connected()
+        result = baswana_sen_spanner(g, lengths=np.ones(g.num_edges), rng=7)
+        sub = g.edge_subgraph(result.edge_ids)
+        worst = 0
+        for e in list(g.edges())[:80]:
+            dist = sub.bfs_distances(e.u)[e.v]
+            worst = max(worst, dist)
+        assert worst <= 2 * int(np.ceil(np.log2(40))) + 1
+
+    def test_deterministic_under_seed(self):
+        g = complete(20, rng=8)
+        a = baswana_sen_spanner(g, rng=9).edge_ids
+        b = baswana_sen_spanner(g, rng=9).edge_ids
+        assert a == b
+
+    def test_levels_parameter(self):
+        g = complete(20, rng=8)
+        result = baswana_sen_spanner(g, rng=9, levels=2)
+        assert result.levels == 2
+
+
+class TestSparsifier:
+    def test_target_edge_count_reached(self):
+        g = complete(70, rng=10)
+        result = sparsify(g, rng=11)
+        assert result.graph.num_edges < g.num_edges
+        assert result.graph.num_edges <= sparsification_target(70, 0.5) * 1.5
+
+    def test_preserves_connectivity(self):
+        g = complete(50, rng=12)
+        result = sparsify(g, rng=13)
+        assert result.graph.is_connected()
+
+    def test_cuts_preserved_within_constant(self):
+        g = complete(60, rng=14)
+        result = sparsify(g, rng=15)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            side = [v for v in range(60) if rng.random() < 0.5]
+            if not side or len(side) == 60:
+                continue
+            ratio = cut_capacity(result.graph, side) / cut_capacity(g, side)
+            assert 0.5 < ratio < 2.0
+
+    def test_edge_origin_maps_to_real_edges(self):
+        g = complete(40, rng=16)
+        result = sparsify(g, rng=17)
+        for j, e in enumerate(result.graph.edges()):
+            orig = g.edge(result.edge_origin[j])
+            assert {orig.u, orig.v} == {e.u, e.v}
+
+    def test_sparse_input_returned_unchanged(self):
+        g = grid(6, 6, rng=18)
+        result = sparsify(g, rng=19)
+        assert result.rounds == 0
+        assert result.graph.num_edges == g.num_edges
+
+    def test_invalid_epsilon_rejected(self):
+        from repro.errors import GraphError
+
+        g = grid(3, 3, rng=1)
+        with pytest.raises(GraphError):
+            sparsify(g, epsilon=0.0)
+
+    def test_explicit_target(self):
+        g = complete(50, rng=20)
+        result = sparsify(g, rng=21, target_edges=300)
+        assert result.graph.num_edges <= 1.6 * 300
+        assert result.rounds >= 1
+
+
+class TestOrientation:
+    def test_all_edges_oriented(self):
+        g = random_connected(30, 0.2, rng=22)
+        forward = orient_edges(g)
+        assert len(forward) == g.num_edges
+
+    def test_out_degree_bounded(self):
+        g = erdos_renyi(40, 0.4, rng=23)
+        forward = orient_edges(g)
+        out_degree = [0] * g.num_nodes
+        for e in g.edges():
+            out_degree[e.u if forward[e.id] else e.v] += 1
+        average = 2 * g.num_edges / g.num_nodes
+        assert max(out_degree) <= 2 * average + 1
+
+    def test_star_center_low_outdegree(self):
+        from repro.graphs.generators import star
+
+        g = star(20, rng=24)
+        forward = orient_edges(g)
+        center_out = sum(
+            1 for e in g.edges() if (e.u == 0) == forward[e.id]
+        )
+        # average degree ~2; the center must not own many edges.
+        assert center_out <= 8
+
+    def test_empty_graph(self):
+        assert orient_edges(Graph(3)) == []
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        assert len(orient_edges(g)) == 1

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table from EXPERIMENTS.md in one run.
+
+This is the standalone (non-pytest) entry point:
+
+    python tools/run_experiments.py [--quick]
+
+It executes the same measurements as ``pytest benchmarks/
+--benchmark-only -s`` but prints only the tables, so the output can be
+diffed against EXPERIMENTS.md directly. ``--quick`` shrinks the sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+
+import numpy as np
+
+from repro.congest import CostModel, distributed_push_relabel
+from repro.core import build_congestion_approximator, max_flow
+from repro.core.accelerated import accelerated_almost_route
+from repro.core.almost_route import almost_route
+from repro.flow import dinic_max_flow, gomory_hu_tree
+from repro.graphs.cuts import cut_capacity
+from repro.graphs.generators import (
+    barbell,
+    complete,
+    grid,
+    random_connected,
+    random_regular_expander,
+    torus,
+)
+from repro.lsst import akpw_spanning_tree, summarize_stretch
+from repro.sparsify import sparsify
+from repro.util.validation import st_demand
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 66 - len(title)))
+
+
+def e1_rounds(quick: bool) -> None:
+    header("E1: rounds vs baselines (constant-diameter barbells)")
+    sizes = (6, 10) if quick else (6, 10, 14)
+    for k in sizes:
+        g = barbell(k, bridge_capacity=1.0, rng=905, max_capacity=10)
+        pr = distributed_push_relabel(g, 0, k)
+        model = CostModel.for_graph(g)
+        print(
+            f"  n={g.num_nodes:3d} m={g.num_edges:4d} D={g.diameter()} "
+            f"push_relabel={pr.rounds:4d} trivial={g.num_edges + 6:4d} "
+            f"D+sqrt(n)={model.base:5.1f} "
+            f"thm1.1(eps=.5)={model.theorem_1_1_bound(0.5):7.0f}"
+        )
+
+
+def e2_quality(quick: bool) -> None:
+    header("E2: value / maxflow per family and epsilon")
+    families = [
+        ("random", random_connected(36, 0.12, rng=911), 0, 35),
+        ("grid", grid(6, 6, rng=912), 0, 35),
+        ("expander", random_regular_expander(36, rng=913), 0, 35),
+    ]
+    eps_values = (0.4,) if quick else (0.8, 0.4, 0.2)
+    for name, g, s, t in families:
+        exact = dinic_max_flow(g, s, t).value
+        approx = build_congestion_approximator(g, rng=914)
+        ratios = {
+            eps: max_flow(g, s, t, epsilon=eps, approximator=approx).value
+            / exact
+            for eps in eps_values
+        }
+        cells = " ".join(f"eps={e}:{r:.4f}" for e, r in ratios.items())
+        print(f"  {name:>9}: exact={exact:7.1f}  {cells}")
+
+
+def e3_stretch(quick: bool) -> None:
+    header("E3: AKPW average stretch vs n (tori)")
+    sides = (6, 9) if quick else (6, 9, 12)
+    for side in sides:
+        g = torus(side, side, rng=921)
+        values = [
+            summarize_stretch(g, akpw_spanning_tree(g, rng=s).tree)["average"]
+            for s in range(3)
+        ]
+        print(f"  n={g.num_nodes:4d}: avg stretch {np.mean(values):5.2f}")
+
+
+def e4_approximator(quick: bool) -> None:
+    header("E4: worst opt/estimate over all s-t pairs, by construction")
+    g = random_connected(16, 0.25, rng=1003)
+    ght = gomory_hu_tree(g)
+    for method in ("hierarchy", "mwu", "bfs"):
+        approx = build_congestion_approximator(
+            g, num_trees=5, rng=1004, method=method, alpha=1.0
+        )
+        worst = 1.0
+        for u, v in itertools.combinations(range(16), 2):
+            opt = 1.0 / ght.min_cut_value(u, v)
+            estimate = approx.estimate(st_demand(g, u, v))
+            worst = max(worst, opt / max(estimate, 1e-30))
+        print(f"  {method:>9}: worst alpha = {worst:.3f}")
+
+
+def e5_sparsifier(quick: bool) -> None:
+    header("E5: cut sparsifier size and cut preservation")
+    sizes = (60,) if quick else (60, 90)
+    for n in sizes:
+        g = complete(n, rng=941)
+        result = sparsify(g, rng=944)
+        rng = np.random.default_rng(945)
+        ratios = []
+        for _ in range(25):
+            side = [v for v in range(n) if rng.random() < 0.5]
+            if 0 < len(side) < n:
+                ratios.append(
+                    cut_capacity(result.graph, side) / cut_capacity(g, side)
+                )
+        print(
+            f"  K{n}: m {g.num_edges} -> {result.graph.num_edges}, "
+            f"cut ratio [{min(ratios):.3f}, {max(ratios):.3f}]"
+        )
+
+
+def e6_descent(quick: bool) -> None:
+    header("E6: descent iterations (plain vs accelerated)")
+    g = random_connected(24, 0.15, rng=951)
+    approx = build_congestion_approximator(g, rng=952)
+    demand = st_demand(g, 0, 23)
+    eps_values = (0.4,) if quick else (0.8, 0.4, 0.2)
+    for eps in eps_values:
+        plain = almost_route(g, approx, demand, eps)
+        fast = accelerated_almost_route(g, approx, demand, eps)
+        print(
+            f"  eps={eps}: plain={plain.iterations:5d} "
+            f"accelerated={fast.iterations:5d}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    args = parser.parse_args(argv)
+    for experiment in (
+        e1_rounds,
+        e2_quality,
+        e3_stretch,
+        e4_approximator,
+        e5_sparsifier,
+        e6_descent,
+    ):
+        experiment(args.quick)
+    print("\n(E7-E9 structural experiments: run "
+          "`pytest benchmarks/ --benchmark-only -s`.)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
