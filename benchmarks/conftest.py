@@ -8,14 +8,25 @@ Each ``test_bench_*.py`` file regenerates one experiment from
 EXPERIMENTS.md (the measurable form of one of the paper's claims) and
 asserts its qualitative shape, while pytest-benchmark times the
 representative core operation.
+
+After a benchmark session this conftest also emits
+``BENCH_graphcore.json`` at the repo root: best-of-N timings of the
+graph-substrate hot paths (BFS, contraction, tree decomposition, AKPW,
+approximator build) measured on the standard generator graphs, next to
+the same timings measured at the pre-CSR seed commit, so substrate
+regressions show up as a ratio < 1 in one glance.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.core import build_congestion_approximator
-from repro.graphs.generators import grid, random_connected
+from repro.graphs.generators import grid, path, random_connected, torus, weighted_variant
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +43,108 @@ def bench_grid():
 @pytest.fixture(scope="session")
 def bench_approximator(bench_graph):
     return build_congestion_approximator(bench_graph, rng=903)
+
+
+# ----------------------------------------------------------------------
+# BENCH_graphcore.json — substrate before/after evidence
+# ----------------------------------------------------------------------
+#: Best-of-N seconds at the seed commit (pure-Python adjacency-list
+#: substrate), measured with the same harness as `_measure_current`
+#: (best-of is robust to the noisy-neighbor jitter of shared runners).
+SEED_BASELINES = {
+    "bfs_distances_path900": 1.4747e-04,
+    "bfs_distances_grid64": 1.2269e-05,
+    "connected_components_path900": 1.4970e-04,
+    "contract_keep_parallel_path900": 8.4155e-04,
+    "contract_merged_path900": 9.5443e-04,
+    "diameter_grid64": 7.4485e-04,
+    "decompose_tree_path400": 2.6393e-04,
+    "decompose_tree_path900": 5.9255e-04,
+    "akpw_torus81": 9.2411e-04,
+    "akpw_weighted_torus64": 1.1083e-03,
+    "approximator_build_n12": 1.1606e-02,
+}
+
+
+def _best_time(fn, reps: int) -> float:
+    values = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        values.append(time.perf_counter() - start)
+    return min(values)
+
+
+def _measure_current() -> dict[str, float]:
+    from repro.cluster import decompose_tree
+    from repro.graphs.trees import bfs_tree
+    from repro.lsst import akpw_spanning_tree
+
+    p900 = path(900, rng=975)
+    tree400 = bfs_tree(path(400, rng=974), root=0)
+    tree900 = bfs_tree(p900, root=0)
+    g8 = grid(8, 8, rng=902)
+    t99 = torus(9, 9, rng=921)
+    gw = weighted_variant(torus(8, 8, rng=923), spread=10_000.0, rng=924)
+    weighted_lengths = 1.0 / gw.capacities()
+    g12 = random_connected(12, 0.3, rng=931)
+    labels = [v % 30 for v in range(p900.num_nodes)]
+    return {
+        "bfs_distances_path900": _best_time(lambda: p900.bfs_distances(0), 30),
+        "bfs_distances_grid64": _best_time(lambda: g8.bfs_distances(0), 30),
+        "connected_components_path900": _best_time(
+            p900.connected_components, 30
+        ),
+        "contract_keep_parallel_path900": _best_time(
+            lambda: p900.contract(labels, keep_parallel=True), 20
+        ),
+        "contract_merged_path900": _best_time(
+            lambda: p900.contract(labels, keep_parallel=False), 20
+        ),
+        "diameter_grid64": _best_time(g8.diameter, 5),
+        "decompose_tree_path400": _best_time(
+            lambda: decompose_tree(tree400, rng=0).num_components, 30
+        ),
+        "decompose_tree_path900": _best_time(
+            lambda: decompose_tree(tree900, rng=1).max_depth, 30
+        ),
+        "akpw_torus81": _best_time(
+            lambda: akpw_spanning_tree(t99, rng=0), 40
+        ),
+        "akpw_weighted_torus64": _best_time(
+            lambda: akpw_spanning_tree(gw, lengths=weighted_lengths, rng=1), 40
+        ),
+        "approximator_build_n12": _best_time(
+            lambda: build_congestion_approximator(
+                g12, num_trees=5, rng=935, alpha=1.0
+            ),
+            5,
+        ),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_graphcore.json after a green benchmark session."""
+    if exitstatus != 0:
+        return
+    try:
+        current = _measure_current()
+    except Exception:  # measurement must never fail the session
+        return
+    report = {
+        "description": (
+            "Graph-substrate hot-path best-of-N timings (seconds): seed "
+            "commit (pure-Python adjacency lists) vs current (CSR + "
+            "vectorized kernels + adaptive small-instance paths)."
+        ),
+        "metrics": {
+            name: {
+                "before_s": SEED_BASELINES[name],
+                "after_s": current[name],
+                "speedup": round(SEED_BASELINES[name] / current[name], 2),
+            }
+            for name in SEED_BASELINES
+        },
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_graphcore.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")

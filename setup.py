@@ -1,6 +1,18 @@
 """Legacy setup shim (the environment has no `wheel` package, so the
 PEP 517 editable path is unavailable; `pip install -e .` uses this)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-congest-maxflow",
+    version="0.1.0",
+    description=(
+        "Reproduction of Ghaffari et al. (PODC'15): near-optimal "
+        "distributed approximate max-flow, on an array-native graph "
+        "substrate"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -77,30 +77,37 @@ def decompose_tree(
         scale = math.sqrt(float(weights.sum()))
     scale = max(scale, 1.0)
 
-    removed: list[int] = []
-    for v in range(n):
-        if tree.parent[v] < 0:
-            continue
-        probability = min(1.0, float(weights[v]) / scale)
-        if rng.random() < probability:
-            removed.append(v)
-    removed_set = set(removed)
+    parent = np.asarray(tree.parent, dtype=np.int64)
+    nonroot = np.flatnonzero(parent >= 0)
+    probability = np.minimum(1.0, weights[nonroot] / scale)
+    removed_arr = nonroot[rng.random(len(nonroot)) < probability]
 
-    component = [-1] * n
-    depths = [0] * n
-    component_roots: list[int] = []
-    for v in tree.topological_order():
-        p = tree.parent[v]
-        if p < 0 or v in removed_set:
-            component[v] = len(component_roots)
-            component_roots.append(v)
-            depths[v] = 0
-        else:
-            component[v] = component[p]
-            depths[v] = depths[p] + 1
+    # Each node's component root is its nearest ancestor (inclusive)
+    # whose parent edge was removed, or the tree root — found for all
+    # nodes at once by pointer jumping over the parent array.
+    stop = np.zeros(n, dtype=bool)
+    stop[removed_arr] = True
+    stop[tree.root] = True
+    anchor = np.where(stop, np.arange(n, dtype=np.int64), parent)
+    while True:
+        hop = anchor[anchor]
+        if np.array_equal(hop, anchor):
+            break
+        anchor = hop
+    # Number components by first encounter in topological order (DFS
+    # preorder since the array-native substrate; the legacy BFS order
+    # numbered them differently — the partition itself, `removed`, and
+    # all depth/count statistics are unchanged, only the arbitrary
+    # component ids relabel).
+    roots = np.flatnonzero(stop)
+    roots = roots[np.argsort(tree.euler_tin[roots], kind="stable")]
+    comp_of_root = np.empty(n, dtype=np.int64)
+    comp_of_root[roots] = np.arange(len(roots), dtype=np.int64)
+    component = comp_of_root[anchor]
+    depths = tree.depths - tree.depths[anchor]
     return TreeDecomposition(
-        removed=removed,
-        component=component,
-        component_roots=component_roots,
-        depths=depths,
+        removed=removed_arr.tolist(),
+        component=component.tolist(),
+        component_roots=roots.tolist(),
+        depths=depths.tolist(),
     )

@@ -26,8 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.cluster.cluster_graph import ClusterGraph
 from repro.congest.model import CongestNetwork, Message, NodeContext
+from repro.errors import GraphError
+from repro.graphs import kernels
 
 __all__ = ["ClusterExchangeResult", "simulate_cluster_round", "cluster_flood_max"]
 
@@ -129,13 +133,6 @@ class _ClusterRoundNode:
         return self._sent_up
 
 
-def _edge_lookup(cg: ClusterGraph) -> dict[tuple[int, int], int]:
-    pairs: dict[tuple[int, int], int] = {}
-    for e in cg.base.edges():
-        pairs.setdefault((min(e.u, e.v), max(e.u, e.v)), e.id)
-    return pairs
-
-
 def simulate_cluster_round(
     cluster_graph: ClusterGraph,
     leader_messages: Sequence[Any],
@@ -160,25 +157,37 @@ def simulate_cluster_round(
     cg = cluster_graph
     base = cg.base
     net = network or CongestNetwork(base)
-    pairs = _edge_lookup(cg)
+    n = base.num_nodes
+    tails, heads = base.edge_index_arrays()
 
-    children: list[list[int]] = [[] for _ in range(base.num_nodes)]
-    child_edges: list[dict[int, int]] = [{} for _ in range(base.num_nodes)]
-    parent_edge = [-1] * base.num_nodes
-    for v in range(base.num_nodes):
-        p = cg.parent[v]
-        if p >= 0:
-            eid = pairs[(min(v, p), max(v, p))]
-            children[p].append(v)
-            child_edges[p][v] = eid
-            parent_edge[v] = eid
-    # psi edges: assign each quotient edge to its lower-id endpoint of
-    # the physical edge (both sides send, so pick both endpoints).
-    psi_edges: list[list[int]] = [[] for _ in range(base.num_nodes)]
-    for eid in cg.edge_origin:
-        u, v = base.endpoints(eid)
-        psi_edges[u].append(eid)
-        psi_edges[v].append(eid)
+    # Cluster-tree wiring: the edge joining v to its parent is the
+    # lowest-id base edge between them (the legacy dict lookup).
+    keys, first_eid = kernels.pair_first_edge_index(tails, heads, n)
+    parents = np.asarray(cg.parent, dtype=np.int64)
+    kids = np.flatnonzero(parents >= 0)
+    kid_eids = kernels.lookup_pairs(keys, first_eid, n, kids, parents[kids])
+    if np.any(kid_eids < 0):
+        v = int(kids[int(np.argmax(kid_eids < 0))])
+        raise GraphError(f"cluster tree edge ({v}, {cg.parent[v]}) is not a base edge")
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    parent_edge[kids] = kid_eids
+    children = [
+        group.tolist()
+        for group in kernels.group_by_key(parents[kids], kids, n)
+    ]
+    child_edges = [
+        {c: int(parent_edge[c]) for c in group} for group in children
+    ]
+    # psi edges: every quotient edge is fired by both endpoints of its
+    # realizing physical edge, in edge_origin order per node.
+    origin = np.asarray(cg.edge_origin, dtype=np.int64)
+    ends = np.empty(2 * len(origin), dtype=np.int64)
+    ends[0::2] = tails[origin]
+    ends[1::2] = heads[origin]
+    psi_edges = [
+        group.tolist()
+        for group in kernels.group_by_key(ends, np.repeat(origin, 2), n)
+    ]
 
     result = net.run(
         lambda v: _ClusterRoundNode(
@@ -188,7 +197,7 @@ def simulate_cluster_round(
             combine,
             children[v],
             child_edges[v],
-            parent_edge[v],
+            int(parent_edge[v]),
             psi_edges[v],
         )
     )

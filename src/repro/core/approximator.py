@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.mst import maximum_spanning_tree
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
 from repro.jtree.hierarchy import HierarchyParams, sample_virtual_tree
@@ -44,7 +45,8 @@ __all__ = [
 class TreeOperator:
     """Euler-tour representation of one virtual tree's row block.
 
-    Precomputes a DFS order with entry/exit indices so that
+    Consumes the Euler intervals the :class:`RootedTree` substrate
+    already caches (entry/exit indices over a DFS order) so that
 
     * subtree sums (the R product) are two cumulative-sum lookups, and
     * ancestor-path sums (the Rᵀ product) are one range-update pass,
@@ -54,30 +56,12 @@ class TreeOperator:
 
     def __init__(self, tree: RootedTree) -> None:
         self.tree = tree
-        n = tree.num_nodes
-        children = tree.children()
-        order = np.empty(n, dtype=np.int64)
-        tin = np.empty(n, dtype=np.int64)
-        tout = np.empty(n, dtype=np.int64)
-        clock = 0
-        stack: list[tuple[int, bool]] = [(tree.root, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                tout[node] = clock
-                continue
-            order[clock] = node
-            tin[node] = clock
-            clock += 1
-            stack.append((node, True))
-            for child in children[node]:
-                stack.append((child, False))
-        self.order = order
-        self.tin = tin
-        self.tout = tout
+        self.order = tree.euler_order
+        self.tin = tree.euler_tin
+        self.tout = tree.euler_tout
         # Row book-keeping: one row per non-root node.
-        self.row_nodes = np.array(
-            [v for v in range(n) if tree.parent[v] >= 0], dtype=np.int64
+        self.row_nodes = np.flatnonzero(
+            np.asarray(tree.parent, dtype=np.int64) >= 0
         )
         caps = np.asarray(tree.capacity, dtype=float)[self.row_nodes]
         if np.any(caps <= 0):
@@ -187,15 +171,19 @@ def racke_sample_trees(
         lsst = akpw_spanning_tree(graph, lengths=lengths, rng=rng)
         cut_caps = induced_cut_capacities(graph, lsst.tree)
         rload = np.zeros(graph.num_edges)
-        chosen_by_pair: dict[tuple[int, int], int] = {}
-        for eid in lsst.tree_edges:
-            u, v = graph.endpoints(eid)
-            chosen_by_pair[(min(u, v), max(u, v))] = eid
-        for v in range(graph.num_nodes):
-            p = lsst.tree.parent[v]
-            if p >= 0:
-                eid = chosen_by_pair[(min(v, p), max(v, p))]
-                rload[eid] = cut_caps[v] / caps[eid]
+        tree_edges = np.asarray(lsst.tree_edges, dtype=np.int64)
+        tails, heads = graph.edge_index_arrays()
+        keys, first = kernels.pair_first_edge_index(
+            tails[tree_edges], heads[tree_edges], graph.num_nodes
+        )
+        parents = np.asarray(lsst.tree.parent, dtype=np.int64)
+        nonroot = np.flatnonzero(parents >= 0)
+        eids = tree_edges[
+            kernels.lookup_pairs(
+                keys, first, graph.num_nodes, nonroot, parents[nonroot]
+            )
+        ]
+        rload[eids] = cut_caps[nonroot] / caps[eids]
         r_max = max(float(rload.max()), 1.0)
         potentials += 0.5 * rload / r_max * np.log(max(graph.num_edges, 2))
         iteration += 1

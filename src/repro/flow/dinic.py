@@ -9,7 +9,6 @@ measure approximation ratios.)
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,21 +35,6 @@ class MaxFlowResult:
     value: float
     flow: np.ndarray
     min_cut_side: frozenset[int]
-
-
-def _bfs_levels(net: ResidualNetwork, source: int, sink: int) -> list[int] | None:
-    """Level graph construction; returns None when sink unreachable."""
-    level = [-1] * net.num_nodes
-    level[source] = 0
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for arc in net.adjacency[node]:
-            head = net.arc_head[arc]
-            if level[head] < 0 and net.residual(arc) > 1e-12:
-                level[head] = level[node] + 1
-                queue.append(head)
-    return level if level[sink] >= 0 else None
 
 
 def _dfs_blocking(
@@ -98,7 +82,7 @@ def dinic_max_flow(graph: Graph, source: int, sink: int) -> MaxFlowResult:
     net = ResidualNetwork(graph)
     value = 0.0
     while True:
-        level = _bfs_levels(net, source, sink)
+        level = net.bfs_levels(source, sink)
         if level is None:
             break
         arc_iter = [0] * net.num_nodes
@@ -110,17 +94,9 @@ def dinic_max_flow(graph: Graph, source: int, sink: int) -> MaxFlowResult:
                 break
             value += pushed
     # Min cut: nodes reachable in the final residual network.
-    reachable = {source}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for arc in net.adjacency[node]:
-            head = net.arc_head[arc]
-            if head not in reachable and net.residual(arc) > 1e-9:
-                reachable.add(head)
-                queue.append(head)
+    reachable = np.flatnonzero(net.reachable_mask(source, threshold=1e-9))
     return MaxFlowResult(
         value=value,
         flow=net.net_flow_vector(),
-        min_cut_side=frozenset(reachable),
+        min_cut_side=frozenset(reachable.tolist()),
     )

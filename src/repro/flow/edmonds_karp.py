@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.flow.dinic import MaxFlowResult
 from repro.flow.residual import ResidualNetwork
@@ -55,15 +57,9 @@ def edmonds_karp_max_flow(graph: Graph, source: int, sink: int) -> MaxFlowResult
             net.push(arc, bottleneck)
             node = net.arc_head[arc ^ 1]
         value += bottleneck
-    reachable = {source}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for arc in net.adjacency[node]:
-            head = net.arc_head[arc]
-            if head not in reachable and net.residual(arc) > 1e-9:
-                reachable.add(head)
-                queue.append(head)
+    reachable = np.flatnonzero(net.reachable_mask(source, threshold=1e-9))
     return MaxFlowResult(
-        value=value, flow=net.net_flow_vector(), min_cut_side=frozenset(reachable)
+        value=value,
+        flow=net.net_flow_vector(),
+        min_cut_side=frozenset(reachable.tolist()),
     )

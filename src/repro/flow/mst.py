@@ -9,6 +9,8 @@ centralized Kruskal equivalent; the round cost is charged by
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, spanning_tree_from_edges
 
@@ -42,33 +44,40 @@ class _DisjointSets:
 
 def _kruskal(graph: Graph, maximize: bool, root: int) -> RootedTree:
     graph.require_connected()
-    order = sorted(
-        range(graph.num_edges),
-        key=lambda eid: graph.capacity(eid),
-        reverse=maximize,
-    )
+    caps_arr = graph.capacities()
+    # Stable argsort = sorted(..., reverse=maximize): equal capacities
+    # keep ascending edge-id order either way.
+    order = np.argsort(-caps_arr if maximize else caps_arr, kind="stable")
+    tails, heads = graph.edge_index_arrays()
+    tails_l, heads_l = tails.tolist(), heads.tolist()
     sets = _DisjointSets(graph.num_nodes)
     chosen: list[int] = []
-    for eid in order:
-        u, v = graph.endpoints(eid)
-        if sets.union(u, v):
+    for eid in order.tolist():
+        if sets.union(tails_l[eid], heads_l[eid]):
             chosen.append(eid)
             if len(chosen) == graph.num_nodes - 1:
                 break
     tree = spanning_tree_from_edges(graph, chosen, root=root)
     # Attach capacities to the tree edges: capacity of the graph edge
     # joining child and parent (max over parallel edges in `chosen`).
-    cap_of_pair: dict[tuple[int, int], float] = {}
-    for eid in chosen:
-        u, v = graph.endpoints(eid)
-        key = (min(u, v), max(u, v))
-        cap_of_pair[key] = max(cap_of_pair.get(key, 0.0), graph.capacity(eid))
-    caps = [0.0] * graph.num_nodes
-    for v in range(graph.num_nodes):
-        p = tree.parent[v]
-        if p >= 0:
-            caps[v] = cap_of_pair[(min(v, p), max(v, p))]
-    return RootedTree(tree.parent, caps)
+    chosen_arr = np.asarray(chosen, dtype=np.int64)
+    n = graph.num_nodes
+    parents = np.asarray(tree.parent, dtype=np.int64)
+    nonroot = np.flatnonzero(parents >= 0)
+    caps = np.zeros(n)
+    if len(chosen_arr):
+        lo = np.minimum(tails[chosen_arr], heads[chosen_arr])
+        hi = np.maximum(tails[chosen_arr], heads[chosen_arr])
+        keys = lo * np.int64(n) + hi
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        pair_cap = np.full(len(uniq), -np.inf)
+        np.maximum.at(pair_cap, inverse, caps_arr[chosen_arr])
+        query = (
+            np.minimum(nonroot, parents[nonroot]) * np.int64(n)
+            + np.maximum(nonroot, parents[nonroot])
+        )
+        caps[nonroot] = pair_cap[np.searchsorted(uniq, query)]
+    return RootedTree(parents, caps)
 
 
 def maximum_spanning_tree(graph: Graph, root: int = 0) -> RootedTree:

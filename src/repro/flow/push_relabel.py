@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.flow.dinic import MaxFlowResult
 from repro.flow.residual import ResidualNetwork
@@ -75,17 +77,9 @@ def push_relabel_max_flow(graph: Graph, source: int, sink: int) -> MaxFlowResult
 
     value = excess[sink]
     # Min cut from residual reachability.
-    reachable = {source}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for arc in net.adjacency[node]:
-            head = net.arc_head[arc]
-            if head not in reachable and net.residual(arc) > 1e-9:
-                reachable.add(head)
-                queue.append(head)
+    reachable = np.flatnonzero(net.reachable_mask(source, threshold=1e-9))
     return MaxFlowResult(
         value=float(value),
         flow=net.net_flow_vector(),
-        min_cut_side=frozenset(reachable),
+        min_cut_side=frozenset(reachable.tolist()),
     )

@@ -7,12 +7,22 @@ arcs u->v and v->u, *each* with capacity c (an undirected edge can
 carry up to c in either direction), plus the usual reverse-arc
 bookkeeping. The final undirected flow on edge e is the net of the two
 directions, so |f_e| <= cap(e) automatically holds.
+
+The arc structure is derived directly from the graph's cached CSR
+adjacency — arc ids are a pure function of edge ids (arc ``2e`` is the
+forward direction of edge ``e``, arc ``2e + 1`` the reverse), so the
+per-node arc lists are the CSR rows with arc ids computed vectorized,
+and no per-edge Python construction happens at all. The same structure
+doubles as a :class:`~repro.graphs.csr.CSRAdjacency` over arcs, which
+the frontier BFS methods feed to the shared ragged-gather kernel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs import kernels
+from repro.graphs.csr import CSRAdjacency
 from repro.graphs.graph import Graph
 
 __all__ = ["ResidualNetwork"]
@@ -22,32 +32,60 @@ class ResidualNetwork:
     """Arc-list residual network built from an undirected graph.
 
     Arcs are stored in pairs: arc ``2k`` is the forward direction of
-    some (u, v) and arc ``2k + 1`` is its reverse. For an undirected
-    edge of capacity c we create the pair (u->v cap c, v->u cap c); the
-    pair is mutually reverse, which encodes exactly the undirected
-    capacity constraint |net flow| <= c.
+    edge ``k`` (its fixed u->v orientation) and arc ``2k + 1`` is its
+    reverse. For an undirected edge of capacity c we create the pair
+    (u->v cap c, v->u cap c); the pair is mutually reverse, which
+    encodes exactly the undirected capacity constraint |net flow| <= c.
+
+    Attributes:
+        arc_indptr / arc_ids: CSR layout of outgoing arcs per node
+            (``arc_ids[arc_indptr[v]:arc_indptr[v+1]]``), in
+            edge-insertion order — consumed by the vectorized BFS.
+        adjacency: The same structure as Python lists (lazily built)
+            for the pointer-chasing augmenting-path loops.
     """
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         n = graph.num_nodes
+        m = graph.num_edges
         self.num_nodes = n
-        self.arc_head: list[int] = []
-        self.arc_cap: list[float] = []
-        self.arc_edge: list[int] = []  # originating undirected edge id
-        self.adjacency: list[list[int]] = [[] for _ in range(n)]
-        for e in graph.edges():
-            self._add_arc_pair(e.u, e.v, e.capacity, e.capacity, e.id)
+        csr = graph.csr()
+        tails, heads = graph.edge_index_arrays()
+        # From node x, edge e offers the arc toward its other endpoint:
+        # the forward arc 2e when x is the tail, else the reverse 2e+1.
+        self.arc_indptr = csr.indptr
+        self.arc_ids = 2 * csr.edge_id + (csr.neighbor == tails[csr.edge_id])
+        head_arr = np.empty(2 * m, dtype=np.int64)
+        caps = np.empty(2 * m, dtype=float)
+        head_arr[0::2] = heads
+        head_arr[1::2] = tails
+        caps[0::2] = graph.capacities()
+        caps[1::2] = caps[0::2]
+        self._head_arr = head_arr
+        # The arc structure is itself a CSR over arcs: the "neighbor"
+        # of an incidence is the arc's head, which is exactly the CSR
+        # neighbor; the "edge id" is the arc id.
+        self._arc_csr = CSRAdjacency(
+            indptr=csr.indptr, neighbor=csr.neighbor, edge_id=self.arc_ids
+        )
+        self.arc_head: list[int] = head_arr.tolist()
+        self.arc_cap: list[float] = caps.tolist()
+        self.arc_edge: list[int] = np.repeat(
+            np.arange(m, dtype=np.int64), 2
+        ).tolist()
+        self._adjacency: list[list[int]] | None = None
 
-    def _add_arc_pair(
-        self, u: int, v: int, cap_uv: float, cap_vu: float, edge_id: int
-    ) -> None:
-        a = len(self.arc_head)
-        self.arc_head.extend([v, u])
-        self.arc_cap.extend([float(cap_uv), float(cap_vu)])
-        self.arc_edge.extend([edge_id, edge_id])
-        self.adjacency[u].append(a)
-        self.adjacency[v].append(a + 1)
+    @property
+    def adjacency(self) -> list[list[int]]:
+        """Per-node outgoing arc lists (edge-insertion order)."""
+        if self._adjacency is None:
+            ptr = self.arc_indptr.tolist()
+            ids = self.arc_ids.tolist()
+            self._adjacency = [
+                ids[ptr[v] : ptr[v + 1]] for v in range(self.num_nodes)
+            ]
+        return self._adjacency
 
     @staticmethod
     def reverse(arc: int) -> int:
@@ -64,19 +102,59 @@ class ResidualNetwork:
         """Remaining capacity of ``arc``."""
         return self.arc_cap[arc]
 
+    def residual_vector(self) -> np.ndarray:
+        """Snapshot of all arc residuals (for the vectorized BFS)."""
+        return np.asarray(self.arc_cap, dtype=float)
+
+    def _admissible_heads(
+        self, frontier: np.ndarray, residual: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Heads of the frontier's arcs with residual above threshold."""
+        _, heads, arcs = kernels.ragged_rows(self._arc_csr, frontier)
+        return heads[residual[arcs] > threshold]
+
+    def reachable_mask(self, source: int, threshold: float = 1e-12) -> np.ndarray:
+        """Nodes reachable from ``source`` via arcs with residual above
+        ``threshold`` (frontier-at-a-time BFS over the arc CSR)."""
+        residual = self.residual_vector()
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        seen[source] = True
+        frontier = np.array([source], dtype=np.int64)
+        while frontier.size:
+            nbrs = self._admissible_heads(frontier, residual, threshold)
+            frontier = np.unique(nbrs[~seen[nbrs]])
+            seen[frontier] = True
+        return seen
+
+    def bfs_levels(
+        self, source: int, sink: int, threshold: float = 1e-12
+    ) -> list[int] | None:
+        """Level graph for blocking-flow phases: hop distance from
+        ``source`` along arcs with residual above ``threshold``;
+        ``None`` when the sink is unreachable."""
+        residual = self.residual_vector()
+        level = np.full(self.num_nodes, -1, dtype=np.int64)
+        level[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            nbrs = self._admissible_heads(frontier, residual, threshold)
+            frontier = np.unique(nbrs[level[nbrs] < 0])
+            if frontier.size == 0:
+                break
+            depth += 1
+            level[frontier] = depth
+        if level[sink] < 0:
+            return None
+        return level.tolist()
+
     def net_flow_vector(self) -> np.ndarray:
         """Recover the undirected flow vector (indexed by graph edge id,
         positive in the fixed u->v orientation) from residual state.
 
-        For the arc pair of edge e with original capacity c: flow in the
-        forward direction is c - residual(forward). Net signed flow is
-        (c - r_fwd) - (c - r_rev) all divided by 2? No — both directions
-        start at capacity c; pushing x along u->v leaves r_fwd = c - x,
-        r_rev = c + x, so net = (r_rev - r_fwd) / 2 = x.
+        For the arc pair of edge e with original capacity c: both
+        directions start at capacity c; pushing x along u->v leaves
+        r_fwd = c - x, r_rev = c + x, so net = (r_rev - r_fwd) / 2 = x.
         """
-        flow = np.zeros(self.graph.num_edges)
-        for pair in range(self.graph.num_edges):
-            fwd = 2 * pair
-            rev = fwd + 1
-            flow[pair] = (self.arc_cap[rev] - self.arc_cap[fwd]) / 2.0
-        return flow
+        caps = self.residual_vector()
+        return (caps[1::2] - caps[0::2]) / 2.0

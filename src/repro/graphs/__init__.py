@@ -1,5 +1,8 @@
-"""Graph substrate: multigraphs, generators, cuts, and rooted trees."""
+"""Graph substrate: array-native multigraphs (growable edge buffers +
+cached CSR adjacency), vectorized kernels, generators, cuts, and rooted
+trees with cached Euler-tour indices."""
 
+from repro.graphs.csr import CSRAdjacency, build_csr
 from repro.graphs.graph import Edge, Graph
 from repro.graphs.trees import (
     RootedTree,
@@ -21,6 +24,8 @@ from repro.graphs.cuts import (
 )
 
 __all__ = [
+    "CSRAdjacency",
+    "build_csr",
     "Edge",
     "Graph",
     "RootedTree",

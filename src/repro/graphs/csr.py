@@ -1,0 +1,100 @@
+"""Compressed-sparse-row (CSR) adjacency for the array-native substrate.
+
+A :class:`CSRAdjacency` is the read-only, cache-friendly view of a
+multigraph's incidence structure that every vectorized kernel in
+:mod:`repro.graphs.kernels` consumes.  It packs, for each node, the
+incident ``(neighbor, edge_id)`` pairs into three flat int64 arrays:
+
+* ``indptr`` — length ``n + 1``; node ``v``'s incidence slice is
+  ``indptr[v] : indptr[v + 1]``;
+* ``neighbor`` — length ``2m``; the other endpoint of each incidence;
+* ``edge_id`` — length ``2m``; the undirected edge id of each incidence.
+
+The contract, relied on by the deterministic BFS kernels:
+
+* every undirected edge ``{u, v}`` contributes one incidence at ``u``
+  and one at ``v`` (parallel edges appear once each, per endpoint);
+* within a node's slice, incidences are sorted by **edge id** — which
+  equals edge-insertion order, so iterating a CSR row reproduces the
+  order of the legacy per-node adjacency lists exactly;
+* all three arrays are marked read-only, so the owning
+  :class:`~repro.graphs.graph.Graph` can hand out its cached instance
+  without defensive copies.
+
+Instances are built with :func:`build_csr` (one ``lexsort`` + one
+``bincount``; no Python-level per-edge work) and cached by ``Graph``
+until the next structural mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSRAdjacency", "build_csr"]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Read-only CSR incidence structure of an undirected multigraph.
+
+    Attributes:
+        indptr: ``(n + 1,)`` int64 row pointers.
+        neighbor: ``(2m,)`` int64 opposite endpoints.
+        edge_id: ``(2m,)`` int64 undirected edge ids.
+    """
+
+    indptr: np.ndarray
+    neighbor: np.ndarray
+    edge_id: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m`` (half the incidence count)."""
+        return len(self.neighbor) // 2
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degree (parallel edges all counted)."""
+        return np.diff(self.indptr)
+
+    def row(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbors, edge_ids)`` views for one node."""
+        lo, hi = self.indptr[node], self.indptr[node + 1]
+        return self.neighbor[lo:hi], self.edge_id[lo:hi]
+
+
+def build_csr(
+    num_nodes: int, edge_u: np.ndarray, edge_v: np.ndarray
+) -> CSRAdjacency:
+    """Build a :class:`CSRAdjacency` from parallel edge-endpoint arrays.
+
+    Args:
+        num_nodes: Number of nodes ``n``.
+        edge_u: ``(m,)`` integer tails.
+        edge_v: ``(m,)`` integer heads.
+
+    Returns:
+        The CSR adjacency, rows sorted by edge id (= insertion order).
+    """
+    edge_u = np.asarray(edge_u, dtype=np.int64)
+    edge_v = np.asarray(edge_v, dtype=np.int64)
+    m = len(edge_u)
+    eids = np.arange(m, dtype=np.int64)
+    endpoint = np.concatenate([edge_u, edge_v])
+    other = np.concatenate([edge_v, edge_u])
+    incidence_eid = np.concatenate([eids, eids])
+    # Sort incidences by (endpoint, edge id): each row then lists its
+    # incident edges in insertion order, matching legacy adjacency.
+    order = np.lexsort((incidence_eid, endpoint))
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(endpoint, minlength=num_nodes), out=indptr[1:])
+    neighbor = other[order]
+    edge_id = incidence_eid[order]
+    for arr in (indptr, neighbor, edge_id):
+        arr.setflags(write=False)
+    return CSRAdjacency(indptr=indptr, neighbor=neighbor, edge_id=edge_id)

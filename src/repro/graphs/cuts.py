@@ -42,15 +42,15 @@ def _side_mask(graph: Graph, side: Iterable[int]) -> np.ndarray:
 def cut_edges(graph: Graph, side: Iterable[int]) -> list[int]:
     """Return the edge ids crossing the cut ``(side, complement)``."""
     mask = _side_mask(graph, side)
-    return [e.id for e in graph.edges() if mask[e.u] != mask[e.v]]
+    tails, heads = graph.edge_index_arrays()
+    return np.flatnonzero(mask[tails] != mask[heads]).tolist()
 
 
 def cut_capacity(graph: Graph, side: Iterable[int]) -> float:
     """Total capacity of edges crossing the cut ``(side, complement)``."""
     mask = _side_mask(graph, side)
-    return float(
-        sum(e.capacity for e in graph.edges() if mask[e.u] != mask[e.v])
-    )
+    tails, heads = graph.edge_index_arrays()
+    return float(graph.capacities()[mask[tails] != mask[heads]].sum())
 
 
 def cut_demand(demand: Sequence[float], side: Iterable[int]) -> float:

@@ -1,22 +1,36 @@
-"""Core graph substrate: an undirected, weighted multigraph.
+"""Core graph substrate: an undirected, weighted multigraph, array-native.
 
 The whole library works on a single concrete representation:
 
 * nodes are integers ``0 .. n-1``;
-* edges are stored in insertion order in parallel arrays
-  (``edge_u``, ``edge_v``, ``capacity``), so an edge is referred to by
-  its integer *edge id* everywhere (flows are vectors indexed by edge
-  id, matching the paper's ``f ∈ R^E``);
+* edges live in growable parallel NumPy buffers (``edge_u``,
+  ``edge_v``, ``capacity``) in insertion order, so an edge is referred
+  to by its integer *edge id* everywhere (flows are vectors indexed by
+  edge id, matching the paper's ``f ∈ R^E``);
 * parallel edges and general positive real capacities are allowed
   (Madry's construction and contractions naturally produce
   multigraphs);
 * every edge has a fixed orientation ``u -> v`` (the paper fixes an
   arbitrary orientation to define signs of flow values).
 
-The class is deliberately plain — adjacency is a list of
-``(neighbor, edge_id)`` pairs — because the algorithms in this library
-walk adjacency lists far more than they do linear algebra. NumPy views
-of the parallel arrays are exposed for the gradient-descent core.
+The array substrate contract:
+
+* ``capacities()`` / ``edge_index_arrays()`` return **cached,
+  read-only** views of the live buffers — free to call in inner loops
+  (the gradient descent calls them every step); ``set_capacity``
+  writes through, structural mutation (``add_edge``) invalidates;
+* ``csr()`` returns a lazily built, cached
+  :class:`~repro.graphs.csr.CSRAdjacency` — ``indptr`` / ``neighbor``
+  / ``edge_id`` arrays, rows in edge-insertion order — which is what
+  the vectorized kernels in :mod:`repro.graphs.kernels` (BFS,
+  components, contraction) and all hot call sites consume;
+* ``neighbors()`` still serves ``(neighbor, edge_id)`` Python pairs
+  for the remaining pointer-chasing code, materialized once from the
+  CSR and cached alongside it.
+
+Bulk constructions (``copy``, ``contract``, ``edge_subgraph``,
+``from_edge_arrays``) are whole-array operations with no Python work
+per edge.
 """
 
 from __future__ import annotations
@@ -28,8 +42,23 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import kernels
+from repro.graphs.csr import CSRAdjacency, build_csr
 
 __all__ = ["Edge", "Graph"]
+
+_INITIAL_BUFFER = 16
+
+#: Below this many incidence entries (n + 2m) the cached-adjacency
+#: Python traversals beat the whole-array kernels (NumPy's fixed
+#: per-call cost exceeds the loop cost on tiny frontiers); above it the
+#: frontier-at-a-time kernels win. Both paths are output-identical.
+SMALL_GRAPH_LIMIT = 8192
+
+#: Below this many incidence entries even element-wise array work
+#: (contraction, batched LCA) loses to plain loops — the j-tree
+#: recursion spends most of its calls on such tiny quotient graphs.
+TINY_GRAPH_LIMIT = 512
 
 
 @dataclass(frozen=True)
@@ -76,12 +105,43 @@ class Graph:
         if num_nodes <= 0:
             raise GraphError(f"graph must have at least one node, got {num_nodes}")
         self._n = int(num_nodes)
-        self._edge_u: list[int] = []
-        self._edge_v: list[int] = []
-        self._capacity: list[float] = []
-        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(self._n)]
-        for u, v, cap in edges:
-            self.add_edge(u, v, cap)
+        self._m = 0
+        self._eu = np.empty(_INITIAL_BUFFER, dtype=np.int64)
+        self._ev = np.empty(_INITIAL_BUFFER, dtype=np.int64)
+        self._cap = np.empty(_INITIAL_BUFFER, dtype=float)
+        self._invalidate()
+        triples = list(edges)
+        if triples:
+            arr = np.asarray(triples, dtype=float)
+            self._append_bulk(
+                arr[:, 0].astype(np.int64),
+                arr[:, 1].astype(np.int64),
+                arr[:, 2],
+            )
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Drop every derived view after a structural mutation."""
+        self._csr_cache: CSRAdjacency | None = None
+        self._adj_cache: list[list[tuple[int, int]]] | None = None
+        self._cap_view: np.ndarray | None = None
+        self._uv_view: tuple[np.ndarray, np.ndarray] | None = None
+        self._connected_cache: bool | None = None
+
+    def _grow(self, extra: int) -> None:
+        need = self._m + extra
+        size = len(self._eu)
+        if need <= size:
+            return
+        while size < need:
+            size *= 2
+        for name in ("_eu", "_ev", "_cap"):
+            buf = getattr(self, name)
+            grown = np.empty(size, dtype=buf.dtype)
+            grown[: self._m] = buf[: self._m]
+            setattr(self, name, grown)
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,13 +159,51 @@ class Graph:
         cap = float(capacity)
         if not cap > 0 or not np.isfinite(cap):
             raise GraphError(f"edge ({u}, {v}) has non-positive capacity {capacity}")
-        eid = len(self._edge_u)
-        self._edge_u.append(u)
-        self._edge_v.append(v)
-        self._capacity.append(cap)
-        self._adj[u].append((v, eid))
-        self._adj[v].append((u, eid))
+        self._grow(1)
+        eid = self._m
+        self._eu[eid] = u
+        self._ev[eid] = v
+        self._cap[eid] = cap
+        self._m = eid + 1
+        self._invalidate()
         return eid
+
+    def _append_bulk(
+        self, u: np.ndarray, v: np.ndarray, cap: np.ndarray
+    ) -> None:
+        """Append validated edge arrays in one shot (vectorized checks)."""
+        cap = np.asarray(cap, dtype=float)
+        bad = (u < 0) | (u >= self._n) | (v < 0) | (v >= self._n)
+        if np.any(bad):
+            i = int(np.argmax(bad))
+            raise GraphError(
+                f"edge ({u[i]}, {v[i]}) has an endpoint outside 0..{self._n - 1}"
+            )
+        loops = u == v
+        if np.any(loops):
+            raise GraphError(
+                f"self-loop at node {u[int(np.argmax(loops))]} is not allowed"
+            )
+        bad_cap = ~(cap > 0) | ~np.isfinite(cap)
+        if np.any(bad_cap):
+            i = int(np.argmax(bad_cap))
+            raise GraphError(
+                f"edge ({u[i]}, {v[i]}) has non-positive capacity {cap[i]}"
+            )
+        self._adopt_arrays(u, v, cap)
+
+    def _adopt_arrays(
+        self, u: np.ndarray, v: np.ndarray, cap: np.ndarray
+    ) -> None:
+        """Append already-valid edge arrays (trusted internal fast path)."""
+        k = len(u)
+        self._grow(k)
+        lo, hi = self._m, self._m + k
+        self._eu[lo:hi] = u
+        self._ev[lo:hi] = v
+        self._cap[lo:hi] = cap
+        self._m = hi
+        self._invalidate()
 
     @classmethod
     def from_edge_arrays(
@@ -118,12 +216,33 @@ class Graph:
         """Build a graph from parallel edge arrays."""
         if not (len(edge_u) == len(edge_v) == len(capacity)):
             raise GraphError("edge arrays must have equal length")
-        return cls(num_nodes, zip(edge_u, edge_v, capacity))
+        graph = cls(num_nodes)
+        if len(edge_u):
+            graph._append_bulk(
+                np.asarray(edge_u, dtype=np.int64),
+                np.asarray(edge_v, dtype=np.int64),
+                np.asarray(capacity, dtype=float),
+            )
+        return graph
+
+    @classmethod
+    def _from_trusted_arrays(
+        cls, num_nodes: int, u: np.ndarray, v: np.ndarray, cap: np.ndarray
+    ) -> "Graph":
+        """Build from arrays known valid (slices of an existing graph)."""
+        graph = cls(num_nodes)
+        if len(u):
+            graph._adopt_arrays(u, v, cap)
+        return graph
 
     def copy(self) -> "Graph":
         """Return a deep copy (edge ids are preserved)."""
-        return Graph.from_edge_arrays(
-            self._n, self._edge_u, self._edge_v, self._capacity
+        m = self._m
+        return Graph._from_trusted_arrays(
+            self._n,
+            self._eu[:m].copy(),
+            self._ev[:m].copy(),
+            self._cap[:m].copy(),
         )
 
     # ------------------------------------------------------------------
@@ -137,7 +256,7 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of edges ``m`` (parallel edges counted separately)."""
-        return len(self._edge_u)
+        return self._m
 
     def nodes(self) -> range:
         """Iterate over node ids."""
@@ -145,54 +264,94 @@ class Graph:
 
     def edge(self, eid: int) -> Edge:
         """Return the :class:`Edge` with the given id."""
-        if not (0 <= eid < self.num_edges):
+        if not (0 <= eid < self._m):
             raise GraphError(f"edge id {eid} out of range")
-        return Edge(eid, self._edge_u[eid], self._edge_v[eid], self._capacity[eid])
+        return Edge(
+            eid, int(self._eu[eid]), int(self._ev[eid]), float(self._cap[eid])
+        )
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges in id order."""
-        for eid in range(self.num_edges):
-            yield self.edge(eid)
+        m = self._m
+        eu = self._eu[:m].tolist()
+        ev = self._ev[:m].tolist()
+        cap = self._cap[:m].tolist()
+        for eid in range(m):
+            yield Edge(eid, eu[eid], ev[eid], cap[eid])
+
+    def _edge_slot(self, eid: int) -> int:
+        """Normalize an edge id (negatives count from the end) to its
+        buffer slot — the buffers over-allocate, so Python-style
+        negative indexing must be resolved against m, not the buffer."""
+        slot = eid + self._m if eid < 0 else eid
+        if not 0 <= slot < self._m:
+            raise IndexError(f"edge id {eid} out of range")
+        return slot
 
     def endpoints(self, eid: int) -> tuple[int, int]:
         """Return ``(u, v)`` for edge ``eid`` under the fixed orientation."""
-        return self._edge_u[eid], self._edge_v[eid]
+        slot = self._edge_slot(eid)
+        return int(self._eu[slot]), int(self._ev[slot])
 
     def capacity(self, eid: int) -> float:
         """Return the capacity of edge ``eid``."""
-        return self._capacity[eid]
+        return float(self._cap[self._edge_slot(eid)])
 
     def set_capacity(self, eid: int, capacity: float) -> None:
-        """Overwrite the capacity of edge ``eid``."""
+        """Overwrite the capacity of edge ``eid`` (cached capacity views
+        see the new value; no cache rebuild needed)."""
         cap = float(capacity)
         if not cap > 0 or not np.isfinite(cap):
             raise GraphError(f"capacity must be positive, got {capacity}")
-        self._capacity[eid] = cap
+        self._cap[self._edge_slot(eid)] = cap
+
+    def csr(self) -> CSRAdjacency:
+        """Return the cached CSR adjacency (built lazily, invalidated on
+        structural mutation). Rows are in edge-insertion order."""
+        if self._csr_cache is None:
+            self._csr_cache = build_csr(
+                self._n, self._eu[: self._m], self._ev[: self._m]
+            )
+        return self._csr_cache
 
     def neighbors(self, node: int) -> list[tuple[int, int]]:
         """Return the adjacency list of ``node`` as ``(neighbor, edge_id)``
         pairs, in edge-insertion order. Parallel edges appear once per
         edge."""
-        return self._adj[node]
+        return self.adjacency_lists()[node]
 
     def degree(self, node: int) -> int:
         """Return the degree of ``node`` (parallel edges all counted)."""
-        return len(self._adj[node])
+        csr = self.csr()
+        return int(csr.indptr[node + 1] - csr.indptr[node])
 
     def capacities(self) -> np.ndarray:
-        """Return the capacity vector as a float array of length m."""
-        return np.asarray(self._capacity, dtype=float)
+        """Return the capacity vector as a float array of length m.
+
+        The array is a cached **read-only view** of the live buffer:
+        ``set_capacity`` writes through to it, ``add_edge`` invalidates
+        it. Callers needing a private mutable copy must ``.copy()``.
+        """
+        if self._cap_view is None:
+            view = self._cap[: self._m].view()
+            view.setflags(write=False)
+            self._cap_view = view
+        return self._cap_view
 
     def edge_index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(tails, heads)`` integer arrays of length m."""
-        return (
-            np.asarray(self._edge_u, dtype=np.int64),
-            np.asarray(self._edge_v, dtype=np.int64),
-        )
+        """Return ``(tails, heads)`` integer arrays of length m (cached
+        read-only views, invalidated on structural mutation)."""
+        if self._uv_view is None:
+            tails = self._eu[: self._m].view()
+            heads = self._ev[: self._m].view()
+            tails.setflags(write=False)
+            heads.setflags(write=False)
+            self._uv_view = (tails, heads)
+        return self._uv_view
 
     def total_capacity(self) -> float:
         """Return the sum of all edge capacities."""
-        return float(sum(self._capacity))
+        return float(self._cap[: self._m].sum())
 
     # ------------------------------------------------------------------
     # Flow-operator views (the paper's B and C matrices, matrix-free)
@@ -202,12 +361,13 @@ class Graph:
 
         ``(B f)_v`` is the net flow *into* node ``v``: an edge
         ``u -> v`` carrying positive flow contributes ``+f_e`` at ``v``
-        and ``-f_e`` at ``u`` (paper Section 2).
+        and ``-f_e`` at ``u`` (paper Section 2). Uses the cached index
+        views — safe to call every gradient step.
         """
         flow = np.asarray(flow, dtype=float)
-        if flow.shape != (self.num_edges,):
+        if flow.shape != (self._m,):
             raise GraphError(
-                f"flow vector has shape {flow.shape}, expected ({self.num_edges},)"
+                f"flow vector has shape {flow.shape}, expected ({self._m},)"
             )
         excess = np.zeros(self._n)
         tails, heads = self.edge_index_arrays()
@@ -223,8 +383,37 @@ class Graph:
     # ------------------------------------------------------------------
     # Connectivity
     # ------------------------------------------------------------------
+    def is_small(self) -> bool:
+        """Whether the adaptive traversals should take the Python path
+        (part of the substrate contract: lsst/trees dispatch on this)."""
+        return self._n + 2 * self._m < SMALL_GRAPH_LIMIT
+
+    def is_tiny(self) -> bool:
+        """Whether even element-wise array work should take Python paths
+        (part of the substrate contract: contraction and batched-LCA
+        call sites dispatch on this)."""
+        return self._n + 2 * self._m < TINY_GRAPH_LIMIT
+
+    def adjacency_lists(self) -> list[list[tuple[int, int]]]:
+        """All adjacency lists (``(neighbor, edge_id)`` pairs per node),
+        materialized once from the CSR and cached until the next
+        structural mutation — the Python-loop counterpart of csr()."""
+        if self._adj_cache is None:
+            csr = self.csr()
+            ptr = csr.indptr.tolist()
+            nbr = csr.neighbor.tolist()
+            eid = csr.edge_id.tolist()
+            self._adj_cache = [
+                list(zip(nbr[ptr[i] : ptr[i + 1]], eid[ptr[i] : ptr[i + 1]]))
+                for i in range(self._n)
+            ]
+        return self._adj_cache
+
     def connected_components(self) -> list[list[int]]:
         """Return connected components as lists of nodes."""
+        if not self.is_small():
+            return kernels.connected_components(self.csr())
+        adj = self.adjacency_lists()
         seen = [False] * self._n
         components: list[list[int]] = []
         for start in range(self._n):
@@ -235,7 +424,7 @@ class Graph:
             queue = deque([start])
             while queue:
                 node = queue.popleft()
-                for neighbor, _ in self._adj[node]:
+                for neighbor, _ in adj[node]:
                     if not seen[neighbor]:
                         seen[neighbor] = True
                         component.append(neighbor)
@@ -244,8 +433,28 @@ class Graph:
         return components
 
     def is_connected(self) -> bool:
-        """Return True iff the graph is connected."""
-        return len(self.connected_components()) == 1
+        """Return True iff the graph is connected (single BFS; memoized
+        until the next structural mutation)."""
+        if self._connected_cache is not None:
+            return self._connected_cache
+        if not self.is_small():
+            connected = bool(kernels.bfs_levels(self.csr(), 0).min() >= 0)
+        else:
+            adj = self.adjacency_lists()
+            seen = [False] * self._n
+            seen[0] = True
+            count = 1
+            queue = deque([0])
+            while queue:
+                node = queue.popleft()
+                for neighbor, _ in adj[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        count += 1
+                        queue.append(neighbor)
+            connected = count == self._n
+        self._connected_cache = connected
+        return connected
 
     def require_connected(self) -> None:
         """Raise :class:`DisconnectedGraphError` unless connected."""
@@ -257,24 +466,43 @@ class Graph:
 
     def bfs_distances(self, source: int) -> list[int]:
         """Return hop distances from ``source`` (-1 for unreachable)."""
+        if not self.is_small():
+            return kernels.bfs_levels(self.csr(), source).tolist()
+        adj = self.adjacency_lists()
         dist = [-1] * self._n
         dist[source] = 0
         queue = deque([source])
         while queue:
             node = queue.popleft()
-            for neighbor, _ in self._adj[node]:
+            for neighbor, _ in adj[node]:
                 if dist[neighbor] < 0:
                     dist[neighbor] = dist[node] + 1
                     queue.append(neighbor)
         return dist
 
     def diameter(self) -> int:
-        """Return the exact hop diameter (BFS from every node).
+        """Return the exact hop diameter.
 
-        Quadratic; intended for the test/benchmark graph sizes used in
-        this library.
+        Quadratic work (all-pairs lockstep BFS on large graphs, one
+        BFS per source on small ones); intended for the test/benchmark
+        graph sizes used in this library.
         """
         self.require_connected()
+        if not self.is_small():
+            # Lockstep BFS over source batches: O(batch · n) working
+            # memory, never the full n×n distance matrix.
+            csr = self.csr()
+            batch = max(1, (1 << 24) // self._n)
+            best = 0
+            for start in range(0, self._n, batch):
+                sources = np.arange(
+                    start, min(start + batch, self._n), dtype=np.int64
+                )
+                best = max(
+                    best,
+                    int(kernels.multi_source_hop_distances(csr, sources).max()),
+                )
+            return best
         best = 0
         for source in range(self._n):
             best = max(best, max(self.bfs_distances(source)))
@@ -310,52 +538,104 @@ class Graph:
         """
         if len(labels) != self._n:
             raise GraphError("labels must have one entry per node")
-        compact: dict[int, int] = {}
-        node_map = []
-        for v in range(self._n):
-            label = labels[v]
-            if label not in compact:
-                compact[label] = len(compact)
-            node_map.append(compact[label])
-        k = len(compact)
-        quotient = Graph(k)
+        if self.is_tiny():
+            return self._contract_tiny(labels, keep_parallel)
+        node_map, k = kernels.compact_labels(labels)
+        new_u, new_v, new_cap, origin = kernels.contract_edges(
+            node_map,
+            k,
+            self._eu[: self._m],
+            self._ev[: self._m],
+            self._cap[: self._m],
+            keep_parallel,
+        )
+        quotient = Graph._from_trusted_arrays(k, new_u, new_v, new_cap)
+        return quotient, origin.tolist()
+
+    def _contract_tiny(
+        self, labels: Sequence[int], keep_parallel: bool
+    ) -> tuple["Graph", list[int]]:
+        """Loop-based contraction (output-identical to the kernels)."""
+        node_map = self._compact_tiny(labels)
+        k = max(node_map) + 1
+        m = self._m
+        tails = self._eu[:m].tolist()
+        heads = self._ev[:m].tolist()
+        new_u: list[int] = []
+        new_v: list[int] = []
         edge_origin: list[int] = []
+        push_u, push_v, push_e = new_u.append, new_v.append, edge_origin.append
         if keep_parallel:
-            for eid in range(self.num_edges):
-                cu = node_map[self._edge_u[eid]]
-                cv = node_map[self._edge_v[eid]]
+            # Build the quotient's adjacency lists in the same pass —
+            # they match what its CSR would serve (edge-id order), so
+            # the quotient never pays a CSR build for its traversals.
+            adj: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+            j = 0
+            for eid, (u, v) in enumerate(zip(tails, heads)):
+                cu = node_map[u]
+                cv = node_map[v]
                 if cu != cv:
-                    quotient.add_edge(cu, cv, self._capacity[eid])
-                    edge_origin.append(eid)
+                    push_u(cu)
+                    push_v(cv)
+                    push_e(eid)
+                    adj[cu].append((cv, j))
+                    adj[cv].append((cu, j))
+                    j += 1
+            new_cap = self._cap[:m][np.asarray(edge_origin, dtype=np.int64)]
+            quotient = Graph._from_trusted_arrays(
+                k,
+                np.asarray(new_u, dtype=np.int64),
+                np.asarray(new_v, dtype=np.int64),
+                new_cap,
+            )
+            quotient._adj_cache = adj
+            return quotient, edge_origin
         else:
+            caps = self._cap[:m].tolist()
+            cap_list: list[float] = []
             merged: dict[tuple[int, int], int] = {}
-            for eid in range(self.num_edges):
-                cu = node_map[self._edge_u[eid]]
-                cv = node_map[self._edge_v[eid]]
+            for eid, (u, v) in enumerate(zip(tails, heads)):
+                cu = node_map[u]
+                cv = node_map[v]
                 if cu == cv:
                     continue
-                key = (min(cu, cv), max(cu, cv))
-                if key in merged:
-                    j = merged[key]
-                    quotient.set_capacity(
-                        j, quotient.capacity(j) + self._capacity[eid]
-                    )
+                key = (cu, cv) if cu < cv else (cv, cu)
+                j = merged.get(key)
+                if j is None:
+                    merged[key] = len(cap_list)
+                    push_u(key[0])
+                    push_v(key[1])
+                    cap_list.append(caps[eid])
+                    push_e(eid)
                 else:
-                    j = quotient.add_edge(key[0], key[1], self._capacity[eid])
-                    merged[key] = j
-                    edge_origin.append(eid)
+                    cap_list[j] += caps[eid]
+            new_cap = np.asarray(cap_list, dtype=float)
+        quotient = Graph._from_trusted_arrays(
+            k,
+            np.asarray(new_u, dtype=np.int64),
+            np.asarray(new_v, dtype=np.int64),
+            new_cap,
+        )
         return quotient, edge_origin
 
-    def node_map_after_contract(self, labels: Sequence[int]) -> list[int]:
-        """Return the compacted node map used by :meth:`contract`."""
+    def _compact_tiny(self, labels: Sequence[int]) -> list[int]:
         compact: dict[int, int] = {}
         node_map = []
-        for v in range(self._n):
-            label = labels[v]
+        for label in labels:
+            label = int(label)
             if label not in compact:
                 compact[label] = len(compact)
             node_map.append(compact[label])
         return node_map
+
+    def node_map_after_contract(self, labels: Sequence[int]) -> list[int]:
+        """Return the compacted node map used by :meth:`contract`."""
+        if len(labels) != self._n:
+            raise GraphError("labels must have one entry per node")
+        if self.is_tiny():
+            return self._compact_tiny(labels)
+        node_map, _ = kernels.compact_labels(labels)
+        return node_map.tolist()
 
     # ------------------------------------------------------------------
     # Subgraphs
@@ -363,11 +643,14 @@ class Graph:
     def edge_subgraph(self, edge_ids: Iterable[int]) -> "Graph":
         """Return a graph on the same node set containing only the given
         edges (edge ids are *not* preserved)."""
-        sub = Graph(self._n)
-        for eid in edge_ids:
-            u, v = self.endpoints(eid)
-            sub.add_edge(u, v, self._capacity[eid])
-        return sub
+        ids = np.asarray(
+            edge_ids if isinstance(edge_ids, np.ndarray) else list(edge_ids),
+            dtype=np.int64,
+        )
+        m = self._m
+        return Graph._from_trusted_arrays(
+            self._n, self._eu[:m][ids], self._ev[:m][ids], self._cap[:m][ids]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self._n}, m={self.num_edges})"

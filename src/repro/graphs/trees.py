@@ -1,4 +1,4 @@
-"""Rooted spanning trees and tree routing.
+"""Rooted spanning trees and tree routing, array-native.
 
 Trees are the load-bearing structure of the whole paper: the congestion
 approximator is a set of rooted trees, `R·b` is a subtree aggregation,
@@ -9,7 +9,16 @@ tree. This module implements all of those tree operations centrally
 performs on the virtual trees, cf. Section 9 and Corollary 9.3).
 
 A :class:`RootedTree` is a parent-pointer array over nodes ``0..n-1``
-with per-edge capacities on the (child -> parent) edges.
+with per-edge capacities on the (child -> parent) edges. On top of the
+parent array it caches, built once per tree:
+
+* a DFS **Euler tour** (``order`` / ``tin`` / ``tout``), making every
+  subtree aggregation two cumulative-sum lookups and every
+  root-to-path sum one range-update pass — the same index arithmetic
+  the congestion approximator's ``TreeOperator`` consumes directly;
+* a lazily built **binary-lifting table**, making batched LCA (and so
+  stretch and induced-cut computations over all graph edges at once)
+  a vectorized O(log depth) scan instead of a per-edge Python walk.
 """
 
 from __future__ import annotations
@@ -20,7 +29,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import TreeError
-from repro.graphs.graph import Graph
+from repro.graphs import kernels
+from repro.graphs.csr import build_csr
+from repro.graphs.graph import SMALL_GRAPH_LIMIT, Graph
 
 __all__ = [
     "RootedTree",
@@ -43,8 +54,11 @@ class RootedTree:
         capacity: ``capacity[v]`` is the capacity of the edge
             ``(v, parent[v])``; ``capacity[root]`` is ignored (0).
 
-    The class precomputes a topological order (root first) so subtree
-    aggregations and root-to-leaf scans are single passes.
+    Construction validates acyclicity and computes depths in one
+    amortized pass; the Euler intervals, child lists, and the
+    binary-lifting table are built lazily on first use and cached
+    (trees that are only constructed — the common case inside the
+    j-tree recursion — never pay for them).
     """
 
     def __init__(
@@ -52,15 +66,20 @@ class RootedTree:
         parent: Sequence[int],
         capacity: Sequence[float] | None = None,
     ) -> None:
-        self.parent = [int(p) for p in parent]
+        if isinstance(parent, np.ndarray):
+            self._parent_arr = parent.astype(np.int64)
+            self.parent = self._parent_arr.tolist()
+        else:
+            self.parent = [int(p) for p in parent]
+            self._parent_arr = np.asarray(self.parent, dtype=np.int64)
         n = len(self.parent)
-        roots = [v for v, p in enumerate(self.parent) if p < 0]
+        roots = np.flatnonzero(self._parent_arr < 0)
         if len(roots) != 1:
             raise TreeError(f"tree must have exactly one root, found {len(roots)}")
-        self.root = roots[0]
-        for v, p in enumerate(self.parent):
-            if p >= n:
-                raise TreeError(f"parent[{v}] = {p} out of range")
+        self.root = int(roots[0])
+        if np.any(self._parent_arr >= n):
+            v = int(np.argmax(self._parent_arr >= n))
+            raise TreeError(f"parent[{v}] = {self.parent[v]} out of range")
         if capacity is None:
             self.capacity = np.zeros(n)
         else:
@@ -68,8 +87,42 @@ class RootedTree:
                 raise TreeError("capacity array must have one entry per node")
             self.capacity = np.asarray(capacity, dtype=float).copy()
         self.capacity[self.root] = 0.0
-        self._order = self._topological_order()
-        self._depth = self._compute_depths()
+        self._depth_list = self._validate_depths()
+        self._euler: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._children_cache: list[list[int]] | None = None
+        self._depth_arr: np.ndarray | None = None
+        self._lift: np.ndarray | None = None
+
+    def _validate_depths(self) -> list[int]:
+        """Depth of every node by memoized parent-chain walks.
+
+        One amortized O(n) pass that doubles as validation: with a
+        single root, a chain that revisits this walk's own trail (or
+        runs past n hops) is a cycle, and acyclicity plus one root
+        implies every node reaches the root.
+        """
+        n = self.num_nodes
+        parent = self.parent
+        depth = [-1] * n
+        depth[self.root] = 0
+        for v in range(n):
+            if depth[v] >= 0:
+                continue
+            chain = []
+            w = v
+            while depth[w] < 0:
+                chain.append(w)
+                if len(chain) > n:
+                    raise TreeError(
+                        "parent pointers contain a cycle or unreachable "
+                        f"nodes (node {v} never reaches the root)"
+                    )
+                w = parent[w]
+            d = depth[w]
+            for u in reversed(chain):
+                d += 1
+                depth[u] = d
+        return depth
 
     # ------------------------------------------------------------------
     # Structure
@@ -78,52 +131,86 @@ class RootedTree:
     def num_nodes(self) -> int:
         return len(self.parent)
 
-    def _topological_order(self) -> list[int]:
-        """Return nodes in root-first order; validates acyclicity."""
-        n = self.num_nodes
-        children: list[list[int]] = [[] for _ in range(n)]
-        for v, p in enumerate(self.parent):
-            if p >= 0:
-                children[p].append(v)
-        order: list[int] = []
-        queue = deque([self.root])
-        while queue:
-            node = queue.popleft()
-            order.append(node)
-            queue.extend(children[node])
-        if len(order) != n:
-            raise TreeError(
-                "parent pointers contain a cycle or unreachable nodes "
-                f"({len(order)} of {n} reachable from root)"
+    def _ensure_euler(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build (lazily, once) the Euler intervals every aggregation
+        runs on: one DFS pass yielding preorder + entry/exit indices."""
+        if self._euler is None:
+            n = self.num_nodes
+            children = self._children()
+            order = [0] * n
+            tin = [0] * n
+            tout = [0] * n
+            clock = 0
+            stack: list[int] = [~self.root, self.root]
+            while stack:
+                node = stack.pop()
+                if node < 0:
+                    tout[~node] = clock
+                    continue
+                order[clock] = node
+                tin[node] = clock
+                clock += 1
+                # Push in reverse so children are *visited* ascending.
+                for child in reversed(children[node]):
+                    stack.append(~child)
+                    stack.append(child)
+            self._euler = (
+                np.asarray(order, dtype=np.int64),
+                np.asarray(tin, dtype=np.int64),
+                np.asarray(tout, dtype=np.int64),
             )
-        return order
+        return self._euler
 
-    def _compute_depths(self) -> list[int]:
-        depth = [0] * self.num_nodes
-        for v in self._order:
-            if self.parent[v] >= 0:
-                depth[v] = depth[self.parent[v]] + 1
-        return depth
+    def _children(self) -> list[list[int]]:
+        if self._children_cache is None:
+            children: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for v, p in enumerate(self.parent):
+                if p >= 0:
+                    children[p].append(v)
+            self._children_cache = children
+        return self._children_cache
+
+    @property
+    def euler_order(self) -> np.ndarray:
+        """DFS preorder over nodes."""
+        return self._ensure_euler()[0]
+
+    @property
+    def euler_tin(self) -> np.ndarray:
+        """Entry index of each node in the Euler tour."""
+        return self._ensure_euler()[1]
+
+    @property
+    def euler_tout(self) -> np.ndarray:
+        """Exit index of each node: subtree of v is ``tin[v]:tout[v]``."""
+        return self._ensure_euler()[2]
+
+    @property
+    def depths(self) -> np.ndarray:
+        """Hop depth of every node below the root (int64 array)."""
+        if self._depth_arr is None:
+            self._depth_arr = np.asarray(self._depth_list, dtype=np.int64)
+        return self._depth_arr
 
     def topological_order(self) -> list[int]:
-        """Nodes in root-first (BFS) order."""
-        return list(self._order)
+        """Nodes in root-first order (every prefix closed under taking
+        parents). Since this PR the concrete order is DFS preorder with
+        children visited ascending — the legacy implementation used BFS
+        order; all in-repo consumers only rely on the root-first
+        property."""
+        return self._ensure_euler()[0].tolist()
 
     def depth(self, node: int) -> int:
         """Hop depth of ``node`` below the root."""
-        return self._depth[node]
+        return self._depth_list[node]
 
     def height(self) -> int:
         """Maximum depth over all nodes."""
-        return max(self._depth)
+        return max(self._depth_list)
 
     def children(self) -> list[list[int]]:
         """Return the child lists of every node."""
-        out: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for v, p in enumerate(self.parent):
-            if p >= 0:
-                out[p].append(v)
-        return out
+        return [list(c) for c in self._children()]
 
     def path_to_root(self, node: int) -> list[int]:
         """Return the node sequence from ``node`` up to and including the
@@ -133,16 +220,60 @@ class RootedTree:
             path.append(self.parent[path[-1]])
         return path
 
+    # ------------------------------------------------------------------
+    # Lowest common ancestors
+    # ------------------------------------------------------------------
     def lca(self, u: int, v: int) -> int:
         """Lowest common ancestor by depth-equalizing walk (O(depth))."""
-        while self._depth[u] > self._depth[v]:
+        depth = self._depth_list
+        while depth[u] > depth[v]:
             u = self.parent[u]
-        while self._depth[v] > self._depth[u]:
+        while depth[v] > depth[u]:
             v = self.parent[v]
         while u != v:
             u = self.parent[u]
             v = self.parent[v]
         return u
+
+    def _lifting_table(self) -> np.ndarray:
+        """Binary-lifting ancestor table ``up[k][v]`` (lazy, cached)."""
+        if self._lift is None:
+            n = self.num_nodes
+            height = max(self._depth_list)
+            levels = max(1, height.bit_length())
+            up = np.empty((levels, n), dtype=np.int64)
+            # Treat the root as its own ancestor so jumps saturate.
+            base = self._parent_arr.copy()
+            base[self.root] = self.root
+            up[0] = base
+            for k in range(1, levels):
+                up[k] = up[k - 1][up[k - 1]]
+            self._lift = up
+        return self._lift
+
+    def lca_batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized LCA for pair arrays (binary lifting)."""
+        us = np.asarray(us, dtype=np.int64).copy()
+        vs = np.asarray(vs, dtype=np.int64).copy()
+        up = self._lifting_table()
+        depth = self.depths
+        # Lift the deeper endpoint up to the shallower one's depth.
+        diff = depth[us] - depth[vs]
+        swap = diff < 0
+        us[swap], vs[swap] = vs[swap], us[swap]
+        diff = np.abs(diff)
+        for k in range(len(up)):
+            take = (diff >> k) & 1 == 1
+            if np.any(take):
+                us[take] = up[k][us[take]]
+        # Now equal depth: jump both while ancestors differ.
+        for k in range(len(up) - 1, -1, -1):
+            differs = up[k][us] != up[k][vs]
+            if np.any(differs):
+                us[differs] = up[k][us[differs]]
+                vs[differs] = up[k][vs[differs]]
+        out = np.where(us == vs, us, up[0][us])
+        return out
 
     def path_length(
         self, u: int, v: int, edge_length: Sequence[float] | None = None
@@ -158,21 +289,33 @@ class RootedTree:
                 node = self.parent[node]
         return total
 
+    def path_lengths_batch(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        edge_length: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`path_length` over pair arrays."""
+        anc = self.lca_batch(us, vs)
+        if edge_length is None:
+            dist = self.depths.astype(float)
+        else:
+            dist = self.prefix_sums_from_root(edge_length)
+        return dist[us] + dist[vs] - 2.0 * dist[anc]
+
     # ------------------------------------------------------------------
     # Aggregations (the paper's convergecast / downcast)
     # ------------------------------------------------------------------
     def subtree_sums(self, values: Sequence[float]) -> np.ndarray:
         """Return, for every node v, the sum of ``values`` over the
-        subtree rooted at v (a convergecast)."""
+        subtree rooted at v (a convergecast): two prefix-sum lookups on
+        the Euler tour."""
         values = np.asarray(values, dtype=float)
         if values.shape != (self.num_nodes,):
             raise TreeError("values must have one entry per node")
-        sums = values.copy()
-        for v in reversed(self._order):
-            p = self.parent[v]
-            if p >= 0:
-                sums[p] += sums[v]
-        return sums
+        order, tin, tout = self._ensure_euler()
+        prefix = np.concatenate(([0.0], np.cumsum(values[order])))
+        return prefix[tout] - prefix[tin]
 
     def prefix_sums_from_root(self, edge_values: Sequence[float]) -> np.ndarray:
         """Return, for every node v, the sum of ``edge_values[w]`` over
@@ -180,15 +323,18 @@ class RootedTree:
 
         This is exactly the node-potential computation π_v of Section
         9.1: with ``edge_values`` = edge prices, the result is the
-        per-tree contribution to π."""
+        per-tree contribution to π. Implemented as one Euler range
+        update: edge (w, p(w)) contributes to exactly the subtree of w.
+        """
         edge_values = np.asarray(edge_values, dtype=float)
         if edge_values.shape != (self.num_nodes,):
             raise TreeError("edge_values must have one entry per node")
-        out = np.zeros(self.num_nodes)
-        for v in self._order:
-            p = self.parent[v]
-            if p >= 0:
-                out[v] = out[p] + edge_values[v]
+        diff = np.zeros(self.num_nodes + 1)
+        nonroot = self._parent_arr >= 0
+        _, tin, tout = self._ensure_euler()
+        np.add.at(diff, tin[nonroot], edge_values[nonroot])
+        np.subtract.at(diff, tout[nonroot], edge_values[nonroot])
+        out = np.cumsum(diff[:-1])[tin]
         out[self.root] = 0.0
         return out
 
@@ -221,17 +367,20 @@ class RootedTree:
     def as_graph(self) -> Graph:
         """Return the tree as a :class:`Graph` (edge (v, parent[v]) gets
         edge id ordering by child node)."""
-        graph = Graph(self.num_nodes)
-        for v in range(self.num_nodes):
-            if self.parent[v] >= 0:
-                cap = float(self.capacity[v]) if self.capacity[v] > 0 else 1.0
-                graph.add_edge(v, self.parent[v], cap)
-        return graph
+        nonroot = np.flatnonzero(self._parent_arr >= 0)
+        caps = self.capacity[nonroot]
+        caps = np.where(caps > 0, caps, 1.0)
+        return Graph._from_trusted_arrays(
+            self.num_nodes, nonroot, self._parent_arr[nonroot], caps
+        )
 
 
 def bfs_tree(graph: Graph, root: int = 0) -> RootedTree:
     """Breadth-first spanning tree of a connected graph."""
     graph.require_connected()
+    if not graph.is_small():
+        _, parent, _ = kernels.bfs_parents(graph.csr(), root)
+        return RootedTree(parent)
     parent = [-2] * graph.num_nodes
     parent[root] = -1
     queue = deque([root])
@@ -254,15 +403,25 @@ def spanning_tree_from_edges(
         TreeError: If the edge set is not a spanning tree.
     """
     n = graph.num_nodes
+    ids = np.asarray(
+        edge_ids if isinstance(edge_ids, np.ndarray) else list(edge_ids),
+        dtype=np.int64,
+    )
+    if len(ids) != n - 1:
+        raise TreeError(f"spanning tree needs {n - 1} edges, got {len(ids)}")
+    tails, heads = graph.edge_index_arrays()
+    if n + 2 * len(ids) >= SMALL_GRAPH_LIMIT:
+        csr = build_csr(n, tails[ids], heads[ids])
+        dist, parent, _ = kernels.bfs_parents(csr, root)
+        if np.any(dist < 0):
+            raise TreeError("edge set does not span the graph")
+        return RootedTree(parent)
+    sel_u = tails[ids].tolist()
+    sel_v = heads[ids].tolist()
     adjacency: list[list[int]] = [[] for _ in range(n)]
-    count = 0
-    for eid in edge_ids:
-        u, v = graph.endpoints(eid)
+    for u, v in zip(sel_u, sel_v):
         adjacency[u].append(v)
         adjacency[v].append(u)
-        count += 1
-    if count != n - 1:
-        raise TreeError(f"spanning tree needs {n - 1} edges, got {count}")
     parent = [-2] * n
     parent[root] = -1
     queue = deque([root])
@@ -287,22 +446,29 @@ def induced_cut_capacities(graph: Graph, tree: RootedTree) -> np.ndarray:
     paper's Section 8.1 (Lemmas 8.1/8.3): routing cap(e) units along the
     tree for every graph edge e loads tree edge (v, p(v)) with the total
     capacity of graph edges having exactly one endpoint in T_v — i.e.
-    the induced cut capacity. Computed here with one Euler pass:
+    the induced cut capacity. Computed with one batched-LCA pass plus
+    one Euler subtree sum:
     cut(T_v) = Σ_{e incident to T_v} cap(e) − 2·Σ_{e inside T_v} cap(e).
     """
     n = graph.num_nodes
     if tree.num_nodes != n:
         raise TreeError("tree and graph node counts differ")
+    tails, heads = graph.edge_index_arrays()
+    caps = graph.capacities()
     incident = np.zeros(n)
-    for e in graph.edges():
-        incident[e.u] += e.capacity
-        incident[e.v] += e.capacity
-    # For "inside" sums: an edge {u, v} lies inside T_w iff w is an
-    # ancestor of lca(u, v). Accumulate 2*cap at the LCA, then take
-    # subtree sums of (incident - 2*cap_at_lca).
+    np.add.at(incident, tails, caps)
+    np.add.at(incident, heads, caps)
+    # An edge {u, v} lies inside T_w iff w is an ancestor of lca(u, v).
+    # Accumulate 2*cap at the LCA, then take subtree sums of
+    # (incident - 2*cap_at_lca).
     at_lca = np.zeros(n)
-    for e in graph.edges():
-        at_lca[tree.lca(e.u, e.v)] += 2.0 * e.capacity
+    if graph.num_edges:
+        if graph.is_tiny():
+            lca = tree.lca
+            for u, v, c in zip(tails.tolist(), heads.tolist(), caps.tolist()):
+                at_lca[lca(u, v)] += 2.0 * c
+        else:
+            np.add.at(at_lca, tree.lca_batch(tails, heads), 2.0 * caps)
     cut = tree.subtree_sums(incident - at_lca)
     cut[tree.root] = 0.0
     # Clamp tiny negatives from float accumulation.
@@ -322,26 +488,23 @@ def tree_route_demand(
     """
     demand = np.asarray(demand, dtype=float)
     flows_on_tree = tree.edge_flows_for_demand(demand)
-    # Map each tree edge to a graph edge id.
-    edge_of_pair: dict[tuple[int, int], int] = {}
-    for e in graph.edges():
-        key = (min(e.u, e.v), max(e.u, e.v))
-        if key not in edge_of_pair:
-            edge_of_pair[key] = e.id
+    tails, heads = graph.edge_index_arrays()
+    keys, first_eid = kernels.pair_first_edge_index(
+        tails, heads, graph.num_nodes
+    )
+    nonroot = np.flatnonzero(np.asarray(tree.parent, dtype=np.int64) >= 0)
+    parents = np.asarray(tree.parent, dtype=np.int64)[nonroot]
+    eids = kernels.lookup_pairs(keys, first_eid, graph.num_nodes, nonroot, parents)
+    if np.any(eids < 0):
+        v = int(nonroot[int(np.argmax(eids < 0))])
+        raise TreeError(
+            f"tree edge ({v}, {tree.parent[v]}) has no corresponding graph edge"
+        )
+    # Positive tree flow moves v -> p; positive graph flow moves
+    # tail -> head. Align signs.
+    signs = np.where(tails[eids] == nonroot, 1.0, -1.0)
     flow = np.zeros(graph.num_edges)
-    for v in range(tree.num_nodes):
-        p = tree.parent[v]
-        if p < 0:
-            continue
-        key = (min(v, p), max(v, p))
-        if key not in edge_of_pair:
-            raise TreeError(f"tree edge ({v}, {p}) has no corresponding graph edge")
-        eid = edge_of_pair[key]
-        u, _ = graph.endpoints(eid)
-        # Positive tree flow moves v -> p; positive graph flow moves
-        # tail -> head. Align signs.
-        sign = 1.0 if u == v else -1.0
-        flow[eid] += sign * flows_on_tree[v]
+    np.add.at(flow, eids, signs * flows_on_tree[nonroot])
     return flow
 
 
@@ -351,10 +514,14 @@ def average_stretch(graph: Graph, tree: RootedTree) -> float:
     path. For an edge of the tree itself the stretch is 1."""
     if graph.num_edges == 0:
         return 0.0
-    total = 0.0
-    for e in graph.edges():
-        total += tree.path_length(e.u, e.v)
-    return total / graph.num_edges
+    tails, heads = graph.edge_index_arrays()
+    if graph.is_tiny():
+        total = sum(
+            tree.path_length(u, v)
+            for u, v in zip(tails.tolist(), heads.tolist())
+        )
+        return total / graph.num_edges
+    return float(tree.path_lengths_batch(tails, heads).mean())
 
 
 def weighted_average_stretch(
@@ -368,8 +535,12 @@ def weighted_average_stretch(
     ``tree_edge_length[w]`` for tree edge (w, parent[w])."""
     if graph.num_edges == 0:
         return 0.0
-    total = 0.0
-    for e in graph.edges():
-        d_t = tree.path_length(e.u, e.v, tree_edge_length)
-        total += d_t / float(edge_length[e.id])
-    return total / graph.num_edges
+    tails, heads = graph.edge_index_arrays()
+    if graph.is_tiny():
+        lengths = np.asarray(edge_length, dtype=float).tolist()
+        total = 0.0
+        for eid, (u, v) in enumerate(zip(tails.tolist(), heads.tolist())):
+            total += tree.path_length(u, v, tree_edge_length) / lengths[eid]
+        return total / graph.num_edges
+    d_t = tree.path_lengths_batch(tails, heads, tree_edge_length)
+    return float((d_t / np.asarray(edge_length, dtype=float)).mean())

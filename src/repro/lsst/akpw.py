@@ -96,30 +96,30 @@ def akpw_spanning_tree(
     n = graph.num_nodes
     if n == 1:
         return LsstResult(RootedTree([-1]), [], 0, 0, 0.0)
+    z = class_base if class_base is not None else default_class_base(n)
+    if z <= 1:
+        raise GraphError("class_base must exceed 1")
     if lengths is None:
-        lengths = np.ones(graph.num_edges)
+        # Unit lengths: every edge normalizes to 1 and lands in class 1.
+        edge_class = np.ones(graph.num_edges, dtype=np.int64)
     else:
         lengths = np.asarray(lengths, dtype=float)
         if lengths.shape != (graph.num_edges,):
             raise GraphError("lengths must have one entry per edge")
         if np.any(lengths <= 0) or not np.all(np.isfinite(lengths)):
             raise GraphError("lengths must be positive and finite")
-    z = class_base if class_base is not None else default_class_base(n)
-    if z <= 1:
-        raise GraphError("class_base must exceed 1")
-
-    # Normalize so the smallest length is 1, then classify:
-    # class i = edges with length in [z^{i-1}, z^i).
-    normalized = lengths / lengths.min()
-    edge_class = np.floor(np.log(normalized) / math.log(z)).astype(int) + 1
+        # Normalize so the smallest length is 1, then classify:
+        # class i = edges with length in [z^{i-1}, z^i).
+        normalized = lengths / lengths.min()
+        edge_class = np.floor(np.log(normalized) / math.log(z)).astype(int) + 1
     rho = max(1, int(z / 4.0))
 
-    # Working state: the current contracted multigraph, a map from its
-    # edges back to original edge ids, and the current supernode of each
-    # original node.
-    current = graph.copy()
-    edge_origin = list(range(graph.num_edges))
-    super_of: list[int] = list(range(n))
+    # Working state: the current contracted multigraph and a map from
+    # its edges back to original edge ids. The input graph itself seeds
+    # the iteration — nothing below mutates it, and reusing it keeps
+    # its cached CSR/adjacency warm for the first partition call.
+    current = graph
+    edge_origin = np.arange(graph.num_edges, dtype=np.int64)
     tree_edges: list[int] = []
     iterations = 0
     phases = 0
@@ -128,9 +128,7 @@ def akpw_spanning_tree(
     j = 1
     stalls = 0
     while current.num_nodes > 1:
-        current_classes = [
-            int(edge_class[edge_origin[eid]]) for eid in range(current.num_edges)
-        ]
+        current_classes = edge_class[edge_origin]
         result = partition(
             current,
             current_classes,
@@ -141,15 +139,11 @@ def akpw_spanning_tree(
         phases += result.phases
         split = result.split
         # Intra-cluster BFS tree edges become spanning tree edges.
-        for v in range(current.num_nodes):
-            if split.parent_edge[v] >= 0:
-                tree_edges.append(edge_origin[split.parent_edge[v]])
+        parent_eids = np.asarray(split.parent_edge, dtype=np.int64)
+        tree_edges.extend(edge_origin[parent_eids[parent_eids >= 0]].tolist())
         # Contract clusters.
         contracted, new_origin = current.contract(split.cluster)
-        edge_origin = [edge_origin[eid] for eid in new_origin]
-        node_map = current.node_map_after_contract(split.cluster)
-        super_map = {old: node_map[old] for old in range(current.num_nodes)}
-        super_of = [super_map[s] for s in super_of]
+        edge_origin = edge_origin[np.asarray(new_origin, dtype=np.int64)]
         contracted_something = contracted.num_nodes < len(split.cluster)
         current = contracted
         iterations += 1

@@ -78,16 +78,19 @@ def partition(
     log_n = max(1, math.ceil(math.log2(max(n, 2))))
     if max_restarts is None:
         max_restarts = 4 * log_n
-    active_edges = [
-        eid for eid in range(graph.num_edges)
-        if 1 <= edge_class[eid] <= active_classes
-    ]
-    class_sizes = [0] * (active_classes + 1)
-    for eid in active_edges:
-        class_sizes[edge_class[eid]] += 1
+    classes = np.asarray(edge_class, dtype=np.int64)
+    active_mask = (classes >= 1) & (classes <= active_classes)
+    active_edges: np.ndarray | None = np.flatnonzero(active_mask)
+    if len(active_edges) == graph.num_edges:
+        active_edges = None  # every edge traversable: skip mask plumbing
+    class_sizes = np.bincount(
+        classes[active_mask], minlength=active_classes + 1
+    ).tolist()
     threshold_fraction = min(
         1.0, OVER_SPLIT_CONSTANT * log_n / max(1, target_radius)
     )
+    tiny = graph.is_tiny()
+    classes_list = classes.tolist() if tiny else None
 
     best: tuple[float, SplitGraphResult, list[float]] | None = None
     phases = 0
@@ -96,14 +99,20 @@ def partition(
             graph, target_radius, rng=rng, active_edges=active_edges
         )
         phases += split.phases
-        cut_per_class = [0] * (active_classes + 1)
-        for eid in split.cut_edges:
-            cls = edge_class[eid]
-            if 1 <= cls <= active_classes:
-                cut_per_class[cls] += 1
+        if tiny:
+            cut_per_class = [0] * (active_classes + 1)
+            for eid in split.cut_edges:
+                cls = classes_list[eid]
+                if 1 <= cls <= active_classes:
+                    cut_per_class[cls] += 1
+        else:
+            cut = np.asarray(split.cut_edges, dtype=np.int64)
+            cut = cut[active_mask[cut]] if len(cut) else cut
+            cut_per_class = np.bincount(
+                classes[cut], minlength=active_classes + 1
+            ).tolist()
         fractions = [
-            cut_per_class[c] / class_sizes[c] if class_sizes[c] else 0.0
-            for c in range(active_classes + 1)
+            c / s if s else 0.0 for c, s in zip(cut_per_class, class_sizes)
         ]
         worst = max(fractions) if fractions else 0.0
         if best is None or worst < best[0]:
