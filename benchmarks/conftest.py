@@ -20,6 +20,7 @@ regressions show up as a ratio < 1 in one glance.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -65,6 +66,26 @@ SEED_BASELINES = {
     "approximator_build_n12": 1.1606e-02,
 }
 
+#: Median-of-N seconds at the PR 1 commit (array-native substrate, but
+#: per-sample hierarchy recursion) for the batched-sampling rows added
+#: in PR 2 — `build_congestion_approximator` at the scales the j-tree
+#: recursion actually runs multi-level. Medians (not best-of) because
+#: the CI regression gate compares medians.
+PR1_BASELINES = {
+    "approximator_build_n256": 1.41128e-01,
+    "approximator_build_n1024": 5.19323e-01,
+    "approximator_build_n4096": 2.434165e00,
+}
+
+#: (nodes, edge probability, generator seed, rng seed, reps) per
+#: approximator benchmark row — shared with tools/bench_regression.py
+#: so the CI gate measures exactly what the baseline records.
+APPROXIMATOR_BENCH_CONFIG = {
+    "approximator_build_n256": (256, 0.05, 940, 941, 5),
+    "approximator_build_n1024": (1024, 0.012, 940, 941, 3),
+    "approximator_build_n4096": (4096, 0.003, 940, 941, 3),
+}
+
 
 def _best_time(fn, reps: int) -> float:
     values = []
@@ -73,6 +94,29 @@ def _best_time(fn, reps: int) -> float:
         fn()
         values.append(time.perf_counter() - start)
     return min(values)
+
+
+def _median_time(fn, reps: int) -> float:
+    values = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        values.append(time.perf_counter() - start)
+    values.sort()
+    return values[len(values) // 2]
+
+
+def measure_approximator_benchmarks() -> dict[str, float]:
+    """Median build_congestion_approximator wall-clock per config row
+    (also invoked by tools/bench_regression.py for the CI gate)."""
+    out = {}
+    for name, (n, p, gseed, rseed, reps) in APPROXIMATOR_BENCH_CONFIG.items():
+        g = random_connected(n, p, rng=gseed)
+        out[name] = _median_time(
+            lambda: build_congestion_approximator(g, rng=rseed, alpha=1.0),
+            reps,
+        )
+    return out
 
 
 def _measure_current() -> dict[str, float]:
@@ -124,27 +168,50 @@ def _measure_current() -> dict[str, float]:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit BENCH_graphcore.json after a green benchmark session."""
+    """Emit BENCH_graphcore.json after a green benchmark session.
+
+    Opt-in via ``BENCH_GRAPHCORE_WRITE=1``: the measurement pass costs
+    ~10 s (it includes the n=4096 approximator builds) and rewrites a
+    checked-in file, which a casual ``pytest benchmarks -k ...`` run —
+    or the CI regression gate's own baseline — must not pay or clobber
+    as a side effect.
+    """
     if exitstatus != 0:
+        return
+    if os.environ.get("BENCH_GRAPHCORE_WRITE") != "1":
         return
     try:
         current = _measure_current()
     except Exception:  # measurement must never fail the session
         return
+    try:
+        approx = measure_approximator_benchmarks()
+    except Exception:
+        approx = {}
+    metrics = {
+        name: {
+            "before_s": SEED_BASELINES[name],
+            "after_s": current[name],
+            "speedup": round(SEED_BASELINES[name] / current[name], 2),
+        }
+        for name in SEED_BASELINES
+    }
+    for name, measured in approx.items():
+        metrics[name] = {
+            "before_s": PR1_BASELINES[name],
+            "after_s": measured,
+            "speedup": round(PR1_BASELINES[name] / measured, 2),
+        }
     report = {
         "description": (
-            "Graph-substrate hot-path best-of-N timings (seconds): seed "
-            "commit (pure-Python adjacency lists) vs current (CSR + "
-            "vectorized kernels + adaptive small-instance paths)."
+            "Graph-substrate hot-path timings (seconds). bfs/contract/"
+            "decompose/akpw rows: best-of-N, seed commit (pure-Python "
+            "adjacency lists) vs current. approximator_build_n{256,1024,"
+            "4096} rows: median-of-N, PR 1 (per-sample hierarchy "
+            "recursion) vs current (batched level-synchronous sampling "
+            "+ persistent quotient CSR + int32 indices)."
         ),
-        "metrics": {
-            name: {
-                "before_s": SEED_BASELINES[name],
-                "after_s": current[name],
-                "speedup": round(SEED_BASELINES[name] / current[name], 2),
-            }
-            for name in SEED_BASELINES
-        },
+        "metrics": metrics,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_graphcore.json"
     out.write_text(json.dumps(report, indent=2) + "\n")

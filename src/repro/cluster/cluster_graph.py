@@ -45,15 +45,25 @@ class ClusterGraph:
 
     # ------------------------------------------------------------------
     @classmethod
-    def trivial(cls, graph: Graph) -> "ClusterGraph":
+    def trivial(cls, graph: Graph, share_quotient: bool = False) -> "ClusterGraph":
         """The level-0 cluster graph: every node its own cluster, the
-        quotient is (a copy of) the graph itself."""
+        quotient is (a copy of) the graph itself.
+
+        Args:
+            graph: The base network graph.
+            share_quotient: Use ``graph`` itself as the level-0 quotient
+                instead of a copy. The hierarchy does this for every
+                sample — nothing in the recursion mutates a core, and
+                sharing keeps the input graph's cached CSR / adjacency /
+                connectivity warm across all O(log n) samples. Callers
+                that mutate the quotient must keep the copying default.
+        """
         return cls(
             base=graph,
             assignment=list(range(graph.num_nodes)),
             parent=[-1] * graph.num_nodes,
             roots=list(range(graph.num_nodes)),
-            quotient=graph.copy(),
+            quotient=graph if share_quotient else graph.copy(),
             edge_origin=list(range(graph.num_edges)),
         )
 

@@ -28,10 +28,10 @@ from repro.flow.mst import maximum_spanning_tree
 from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
-from repro.jtree.hierarchy import HierarchyParams, sample_virtual_tree
+from repro.jtree.hierarchy import HierarchyParams, sample_virtual_trees
 from repro.jtree.madry import madry_jtree_step
 from repro.lsst.akpw import akpw_spanning_tree
-from repro.util.rng import as_generator, spawn
+from repro.util.rng import as_generator
 
 __all__ = [
     "TreeOperator",
@@ -259,9 +259,15 @@ def build_congestion_approximator(
 
     trees: list[RootedTree] = []
     if method == "hierarchy":
-        for child in spawn(rng, num_trees):
-            sample = sample_virtual_tree(graph, rng=child, params=hierarchy_params)
-            trees.append(sample.tree)
+        # Batched level-synchronous sampling: identical trees to the
+        # legacy one-sample-at-a-time loop for a fixed seed (the child
+        # generators are spawned the same way), but the per-level MWU
+        # work is stacked across samples and coinciding cores are
+        # shared.
+        samples = sample_virtual_trees(
+            graph, num_trees, rng=rng, params=hierarchy_params
+        )
+        trees = [sample.tree for sample in samples]
     elif method == "mwu":
         trees = racke_sample_trees(graph, num_trees, rng=rng)
     elif method == "bfs":

@@ -3,12 +3,20 @@
 A :class:`CSRAdjacency` is the read-only, cache-friendly view of a
 multigraph's incidence structure that every vectorized kernel in
 :mod:`repro.graphs.kernels` consumes.  It packs, for each node, the
-incident ``(neighbor, edge_id)`` pairs into three flat int64 arrays:
+incident ``(neighbor, edge_id)`` pairs into three flat arrays:
 
-* ``indptr`` — length ``n + 1``; node ``v``'s incidence slice is
-  ``indptr[v] : indptr[v + 1]``;
-* ``neighbor`` — length ``2m``; the other endpoint of each incidence;
-* ``edge_id`` — length ``2m``; the undirected edge id of each incidence.
+* ``indptr`` — length ``n + 1``, int64; node ``v``'s incidence slice
+  is ``indptr[v] : indptr[v + 1]``;
+* ``neighbor`` — length ``2m``, :data:`INDEX_DTYPE` (int32); the other
+  endpoint of each incidence;
+* ``edge_id`` — length ``2m``, :data:`INDEX_DTYPE` (int32); the
+  undirected edge id of each incidence.
+
+Node and edge ids are stored as int32 throughout the substrate: ids
+stay below :data:`MAX_INDEX` (2^31 − 1, enforced at the ``Graph``
+boundary), and halving the index bandwidth speeds every gather in the
+hot kernels. ``indptr`` stays int64 because it indexes the ``2m``-long
+incidence arrays.
 
 The contract, relied on by the deterministic BFS kernels:
 
@@ -21,9 +29,13 @@ The contract, relied on by the deterministic BFS kernels:
   :class:`~repro.graphs.graph.Graph` can hand out its cached instance
   without defensive copies.
 
-Instances are built with :func:`build_csr` (one ``lexsort`` + one
-``bincount``; no Python-level per-edge work) and cached by ``Graph``
-until the next structural mutation.
+Instances are built with :func:`build_csr` (one single-key stable
+argsort over eid-interleaved incidences + one ``bincount``; no
+Python-level per-edge work) and cached by ``Graph`` until the next
+structural mutation.  :meth:`Graph.contract` builds the quotient's CSR
+in the same pass as the quotient edge arrays and seeds the child's
+cache directly, so chained contractions (AKPW, the j-tree hierarchy)
+never re-derive adjacency lazily.
 """
 
 from __future__ import annotations
@@ -32,7 +44,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CSRAdjacency", "build_csr"]
+__all__ = ["CSRAdjacency", "build_csr", "INDEX_DTYPE", "MAX_INDEX"]
+
+#: Storage dtype for node and edge ids across the array substrate.
+INDEX_DTYPE = np.int32
+
+#: Largest representable id; the ``Graph`` boundary guards against
+#: node/edge counts ever reaching this (2^31 − 1 ≈ 2·10^9 incidences).
+MAX_INDEX = int(np.iinfo(INDEX_DTYPE).max)
 
 
 @dataclass(frozen=True)
@@ -41,8 +60,8 @@ class CSRAdjacency:
 
     Attributes:
         indptr: ``(n + 1,)`` int64 row pointers.
-        neighbor: ``(2m,)`` int64 opposite endpoints.
-        edge_id: ``(2m,)`` int64 undirected edge ids.
+        neighbor: ``(2m,)`` int32 opposite endpoints.
+        edge_id: ``(2m,)`` int32 undirected edge ids.
     """
 
     indptr: np.ndarray
@@ -81,16 +100,22 @@ def build_csr(
     Returns:
         The CSR adjacency, rows sorted by edge id (= insertion order).
     """
-    edge_u = np.asarray(edge_u, dtype=np.int64)
-    edge_v = np.asarray(edge_v, dtype=np.int64)
+    edge_u = np.asarray(edge_u, dtype=INDEX_DTYPE)
+    edge_v = np.asarray(edge_v, dtype=INDEX_DTYPE)
     m = len(edge_u)
-    eids = np.arange(m, dtype=np.int64)
-    endpoint = np.concatenate([edge_u, edge_v])
-    other = np.concatenate([edge_v, edge_u])
-    incidence_eid = np.concatenate([eids, eids])
-    # Sort incidences by (endpoint, edge id): each row then lists its
-    # incident edges in insertion order, matching legacy adjacency.
-    order = np.lexsort((incidence_eid, endpoint))
+    # Interleave incidences in edge-id order ([u0, v0, u1, v1, ...]):
+    # a single-key *stable* argsort on the endpoint then yields rows
+    # sorted by (endpoint, edge id) — the same order the previous
+    # two-key lexsort produced, at roughly half the sort cost (and a
+    # node never carries two incidences of one edge: no self-loops).
+    endpoint = np.empty(2 * m, dtype=INDEX_DTYPE)
+    endpoint[0::2] = edge_u
+    endpoint[1::2] = edge_v
+    other = np.empty(2 * m, dtype=INDEX_DTYPE)
+    other[0::2] = edge_v
+    other[1::2] = edge_u
+    incidence_eid = np.repeat(np.arange(m, dtype=INDEX_DTYPE), 2)
+    order = np.argsort(endpoint, kind="stable")
     indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(np.bincount(endpoint, minlength=num_nodes), out=indptr[1:])
     neighbor = other[order]

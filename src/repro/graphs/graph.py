@@ -6,7 +6,10 @@ The whole library works on a single concrete representation:
 * edges live in growable parallel NumPy buffers (``edge_u``,
   ``edge_v``, ``capacity``) in insertion order, so an edge is referred
   to by its integer *edge id* everywhere (flows are vectors indexed by
-  edge id, matching the paper's ``f ∈ R^E``);
+  edge id, matching the paper's ``f ∈ R^E``); endpoints and edge ids
+  are stored int32 (guarded at this boundary — see
+  :data:`~repro.graphs.csr.MAX_INDEX`), halving index bandwidth in
+  every kernel gather;
 * parallel edges and general positive real capacities are allowed
   (Madry's construction and contractions naturally produce
   multigraphs);
@@ -43,7 +46,7 @@ import numpy as np
 
 from repro.errors import DisconnectedGraphError, GraphError
 from repro.graphs import kernels
-from repro.graphs.csr import CSRAdjacency, build_csr
+from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, MAX_INDEX, build_csr
 
 __all__ = ["Edge", "Graph"]
 
@@ -104,10 +107,15 @@ class Graph:
     ) -> None:
         if num_nodes <= 0:
             raise GraphError(f"graph must have at least one node, got {num_nodes}")
+        if num_nodes > MAX_INDEX:
+            raise GraphError(
+                f"graph with {num_nodes} nodes exceeds the int32 index "
+                f"substrate (max {MAX_INDEX})"
+            )
         self._n = int(num_nodes)
         self._m = 0
-        self._eu = np.empty(_INITIAL_BUFFER, dtype=np.int64)
-        self._ev = np.empty(_INITIAL_BUFFER, dtype=np.int64)
+        self._eu = np.empty(_INITIAL_BUFFER, dtype=INDEX_DTYPE)
+        self._ev = np.empty(_INITIAL_BUFFER, dtype=INDEX_DTYPE)
         self._cap = np.empty(_INITIAL_BUFFER, dtype=float)
         self._invalidate()
         triples = list(edges)
@@ -132,6 +140,11 @@ class Graph:
 
     def _grow(self, extra: int) -> None:
         need = self._m + extra
+        if need > MAX_INDEX:
+            raise GraphError(
+                f"graph with {need} edges exceeds the int32 index "
+                f"substrate (max {MAX_INDEX})"
+            )
         size = len(self._eu)
         if need <= size:
             return
@@ -236,14 +249,23 @@ class Graph:
         return graph
 
     def copy(self) -> "Graph":
-        """Return a deep copy (edge ids are preserved)."""
+        """Return a deep copy (edge ids are preserved).
+
+        The copy shares this graph's cached CSR and connectivity
+        verdict when they exist: both depend only on the (identical)
+        structure, the CSR arrays are immutable, and each graph
+        invalidates only its own cache pointers on mutation.
+        """
         m = self._m
-        return Graph._from_trusted_arrays(
+        twin = Graph._from_trusted_arrays(
             self._n,
             self._eu[:m].copy(),
             self._ev[:m].copy(),
             self._cap[:m].copy(),
         )
+        twin._csr_cache = self._csr_cache
+        twin._connected_cache = self._connected_cache
+        return twin
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -535,6 +557,14 @@ class Graph:
             ``(quotient, edge_origin)`` where ``edge_origin[j]`` is the
             original edge id that quotient edge ``j`` came from (for the
             merged case, a representative original id).
+
+        The quotient comes with its derived caches pre-seeded: the
+        scaled path emits the child CSR directly from the contraction
+        pass (:func:`~repro.graphs.kernels.contract_csr`), the tiny
+        path seeds the adjacency lists, and both inherit a known
+        ``True`` connectivity verdict (contracting a connected graph
+        cannot disconnect it). Every seeded cache is dropped by the
+        next structural mutation, exactly like a lazily built one.
         """
         if len(labels) != self._n:
             raise GraphError("labels must have one entry per node")
@@ -550,7 +580,16 @@ class Graph:
             keep_parallel,
         )
         quotient = Graph._from_trusted_arrays(k, new_u, new_v, new_cap)
+        quotient._csr_cache = kernels.contract_csr(k, new_u, new_v)
+        self._seed_quotient_connectivity(quotient)
         return quotient, origin.tolist()
+
+    def _seed_quotient_connectivity(self, quotient: "Graph") -> None:
+        """Propagate a known-connected verdict to a contraction child
+        (only ``True`` transfers: contracting cannot disconnect, but it
+        can *connect* a disconnected graph by merging components)."""
+        if self._connected_cache is True:
+            quotient._connected_cache = True
 
     def _contract_tiny(
         self, labels: Sequence[int], keep_parallel: bool
@@ -584,11 +623,12 @@ class Graph:
             new_cap = self._cap[:m][np.asarray(edge_origin, dtype=np.int64)]
             quotient = Graph._from_trusted_arrays(
                 k,
-                np.asarray(new_u, dtype=np.int64),
-                np.asarray(new_v, dtype=np.int64),
+                np.asarray(new_u, dtype=INDEX_DTYPE),
+                np.asarray(new_v, dtype=INDEX_DTYPE),
                 new_cap,
             )
             quotient._adj_cache = adj
+            self._seed_quotient_connectivity(quotient)
             return quotient, edge_origin
         else:
             caps = self._cap[:m].tolist()
@@ -612,10 +652,11 @@ class Graph:
             new_cap = np.asarray(cap_list, dtype=float)
         quotient = Graph._from_trusted_arrays(
             k,
-            np.asarray(new_u, dtype=np.int64),
-            np.asarray(new_v, dtype=np.int64),
+            np.asarray(new_u, dtype=INDEX_DTYPE),
+            np.asarray(new_v, dtype=INDEX_DTYPE),
             new_cap,
         )
+        self._seed_quotient_connectivity(quotient)
         return quotient, edge_origin
 
     def _compact_tiny(self, labels: Sequence[int]) -> list[int]:

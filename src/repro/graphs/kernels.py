@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.csr import CSRAdjacency
+from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, build_csr
 
 __all__ = [
     "ragged_rows",
@@ -31,6 +31,7 @@ __all__ = [
     "connected_components",
     "compact_labels",
     "contract_edges",
+    "contract_csr",
     "pair_first_edge_index",
     "lookup_pairs",
     "group_by_key",
@@ -231,8 +232,8 @@ def compact_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:
     )
     k = len(first_idx)
     # Rank the sorted-unique labels by where they first appeared.
-    rank = np.empty(k, dtype=np.int64)
-    rank[np.argsort(first_idx, kind="stable")] = np.arange(k, dtype=np.int64)
+    rank = np.empty(k, dtype=INDEX_DTYPE)
+    rank[np.argsort(first_idx, kind="stable")] = np.arange(k, dtype=INDEX_DTYPE)
     return rank[inverse], k
 
 
@@ -260,25 +261,42 @@ def contract_edges(
         legacy loop. ``edge_origin[j]`` is the (representative)
         original edge id of quotient edge ``j``.
     """
-    cu = node_map[edge_u]
-    cv = node_map[edge_v]
+    cu = node_map[np.asarray(edge_u, dtype=INDEX_DTYPE)]
+    cv = node_map[np.asarray(edge_v, dtype=INDEX_DTYPE)]
     cross = cu != cv
-    origin = np.flatnonzero(cross)
+    origin = np.flatnonzero(cross).astype(INDEX_DTYPE)
     cu, cv = cu[cross], cv[cross]
     caps = np.asarray(capacity, dtype=float)[cross]
     if keep_parallel:
         return cu, cv, caps, origin
     lo = np.minimum(cu, cv)
     hi = np.maximum(cu, cv)
+    # np.int64 scalar forces a wide key: int32 * int32 would wrap for
+    # num_clusters above ~46k under NEP 50 value-based promotion.
     key = lo * np.int64(num_clusters) + hi
     _, first_idx, inverse = np.unique(key, return_index=True, return_inverse=True)
     k = len(first_idx)
-    rank = np.empty(k, dtype=np.int64)
+    rank = np.empty(k, dtype=INDEX_DTYPE)
     first_order = np.argsort(first_idx, kind="stable")
-    rank[first_order] = np.arange(k, dtype=np.int64)
+    rank[first_order] = np.arange(k, dtype=INDEX_DTYPE)
     merged_cap = np.bincount(rank[inverse], weights=caps, minlength=k)
     rep = first_idx[first_order]
     return lo[rep], hi[rep], merged_cap, origin[rep]
+
+
+def contract_csr(
+    num_clusters: int, new_u: np.ndarray, new_v: np.ndarray
+) -> CSRAdjacency:
+    """Emit the quotient's CSR adjacency directly from a contraction.
+
+    :func:`contract_edges` produces the quotient's edge arrays already
+    in quotient-edge-id order, which is exactly the order
+    :func:`~repro.graphs.csr.build_csr` needs — so the child CSR can be
+    materialized in the same pass and seeded into the quotient's cache,
+    making the chained contractions of AKPW and the j-tree hierarchy
+    pay zero lazy adjacency rebuilds per level.
+    """
+    return build_csr(num_clusters, new_u, new_v)
 
 
 def pair_first_edge_index(

@@ -4,15 +4,24 @@ from repro.jtree.skeleton import SkeletonResult, build_skeleton
 from repro.jtree.madry import (
     CoreEdge,
     JTreeStep,
+    TreePhase,
+    finish_jtree_step,
     madry_jtree_step,
+    madry_tree_phase,
     select_load_classes,
 )
-from repro.jtree.mwu import JTreeDistribution, build_jtree_distribution
+from repro.jtree.mwu import (
+    JTreeDistribution,
+    SampledJTree,
+    build_jtree_distribution,
+    sample_jtree_step,
+)
 from repro.jtree.embedding import EmbeddingReport, embedding_report
 from repro.jtree.hierarchy import (
     HierarchyParams,
     VirtualTree,
     sample_virtual_tree,
+    sample_virtual_trees,
 )
 
 __all__ = [
@@ -20,13 +29,19 @@ __all__ = [
     "build_skeleton",
     "CoreEdge",
     "JTreeStep",
+    "TreePhase",
+    "finish_jtree_step",
     "madry_jtree_step",
+    "madry_tree_phase",
     "select_load_classes",
     "JTreeDistribution",
+    "SampledJTree",
     "build_jtree_distribution",
+    "sample_jtree_step",
     "HierarchyParams",
     "VirtualTree",
     "sample_virtual_tree",
+    "sample_virtual_trees",
     "EmbeddingReport",
     "embedding_report",
 ]

@@ -21,24 +21,41 @@ recursion level) and an edge length function, one step produces a
 The relative loads feed the multiplicative-weights update
 (:mod:`repro.jtree.mwu`) that turns repeated steps into an
 (α, H[j])-decomposition (Lemma 8.4).
+
+The step is split into two stages so the MWU loop can defer work it
+may never need: :func:`madry_tree_phase` (stages 1–3: the spanning
+tree, loads, and removal set — everything the weight update consumes,
+and everything that draws randomness) and :func:`finish_jtree_step`
+(stages 4–5: skeleton, portals, forest orientation, and core edges —
+deterministic given the phase, so it can be run for *only the sampled*
+iteration of a distribution; cf. :func:`repro.jtree.mwu.sample_jtree_step`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, induced_cut_capacities
 from repro.jtree.skeleton import SkeletonResult, build_skeleton
 from repro.lsst.akpw import akpw_spanning_tree
 from repro.util.rng import as_generator
 
-__all__ = ["CoreEdge", "JTreeStep", "madry_jtree_step", "select_load_classes"]
+__all__ = [
+    "CoreEdge",
+    "JTreeStep",
+    "TreePhase",
+    "madry_tree_phase",
+    "finish_jtree_step",
+    "madry_jtree_step",
+    "select_load_classes",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +79,35 @@ class CoreEdge:
 
 
 @dataclass
+class TreePhase:
+    """The randomness-consuming first stage of a Madry step.
+
+    Everything the multiplicative-weights update needs (Lemma 8.4 uses
+    only the relative loads), plus everything :func:`finish_jtree_step`
+    needs to deterministically complete the j-tree.
+
+    Attributes:
+        tree: The spanning tree T of the quotient.
+        tree_edge_of_child: ``(n,)`` int array; quotient edge id
+            realizing (c, parent(c)), -1 at the root.
+        tree_capacity: cap_T per child node (induced cut capacities).
+        rload: Relative load per child node (cap_T / cap).
+        rload_per_edge: Relative load per *quotient edge* (0 off-tree)
+            — the MWU update vector.
+        removed: Sorted child node ids whose parent edge went into F.
+        phases: SplitGraph phases consumed (round accounting).
+    """
+
+    tree: RootedTree
+    tree_edge_of_child: np.ndarray
+    tree_capacity: np.ndarray
+    rload: np.ndarray
+    rload_per_edge: np.ndarray
+    removed: list[int]
+    phases: int
+
+
+@dataclass
 class JTreeStep:
     """Everything one Madry step produces.
 
@@ -78,7 +124,12 @@ class JTreeStep:
             (-1 at portals).
         forest_edge: Per cluster, quotient edge to the forest parent.
         component_of: Per cluster, its component (new cluster) index.
-        core_edges: The core multigraph's edges.
+        core_u / core_v / core_cap / core_origin / core_is_path:
+            Parallel arrays of the core multigraph's edges (endpoint
+            components, capacity, realizing quotient edge, D-flag) in
+            quotient-edge-id order — the array-native form the
+            hierarchy consumes; :attr:`core_edges` materializes the
+            per-edge view lazily.
         num_components: Number of new clusters (= core size).
         phases: SplitGraph phases consumed (round accounting).
     """
@@ -93,9 +144,32 @@ class JTreeStep:
     forest_parent: list[int]
     forest_edge: list[int]
     component_of: list[int]
-    core_edges: list[CoreEdge]
+    core_u: np.ndarray
+    core_v: np.ndarray
+    core_cap: np.ndarray
+    core_origin: np.ndarray
+    core_is_path: np.ndarray
     num_components: int
     phases: int
+    _core_edges_cache: list[CoreEdge] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def core_edges(self) -> list[CoreEdge]:
+        """Per-edge :class:`CoreEdge` view of the core arrays (lazy)."""
+        if self._core_edges_cache is None:
+            self._core_edges_cache = [
+                CoreEdge(int(u), int(v), float(c), int(q), bool(d))
+                for u, v, c, q, d in zip(
+                    self.core_u.tolist(),
+                    self.core_v.tolist(),
+                    self.core_cap.tolist(),
+                    self.core_origin.tolist(),
+                    self.core_is_path.tolist(),
+                )
+            ]
+        return self._core_edges_cache
 
 
 def select_load_classes(
@@ -145,6 +219,184 @@ def select_load_classes(
     return [c for c, ci in zip(children, class_index) if ci < i_max]
 
 
+def madry_tree_phase(
+    quotient: Graph,
+    lengths: Sequence[float] | None,
+    j: int,
+    rng: np.random.Generator | int | None = None,
+    extra_removals: Sequence[int] = (),
+    removal_policy: str = "classes",
+) -> TreePhase:
+    """Run stages 1–3 of a Madry step (tree, loads, removal set).
+
+    This is the only part of a step that consumes randomness; see
+    :func:`madry_jtree_step` for the argument semantics.
+    """
+    rng = as_generator(rng)
+    n = quotient.num_nodes
+    if n < 2:
+        raise GraphError("madry step needs at least 2 clusters")
+    if lengths is None:
+        lengths = 1.0 / quotient.capacities()
+    lsst = akpw_spanning_tree(quotient, lengths=lengths, rng=rng)
+    tree = lsst.tree
+
+    # Map each tree edge (child, parent) to the quotient edge realizing
+    # it. A spanning tree holds one edge per node pair, so the lowest
+    # edge id per pair over `tree_edges` is exactly the chosen edge.
+    tree_edges = np.asarray(lsst.tree_edges, dtype=np.int64)
+    tails, heads = quotient.edge_index_arrays()
+    parents = np.asarray(tree.parent, dtype=np.int64)
+    nonroot = np.flatnonzero(parents >= 0)
+    tree_edge_of_child = np.full(n, -1, dtype=np.int64)
+    if len(tree_edges):
+        keys, first = kernels.pair_first_edge_index(
+            tails[tree_edges], heads[tree_edges], n
+        )
+        tree_edge_of_child[nonroot] = tree_edges[
+            kernels.lookup_pairs(keys, first, n, nonroot, parents[nonroot])
+        ]
+
+    # Tree capacities = induced cut capacities (the |f'| of Lemma 8.3).
+    tree_capacity = induced_cut_capacities(quotient, tree)
+    caps = quotient.capacities()
+    rload = np.zeros(n)
+    child_eids = tree_edge_of_child[nonroot]
+    rload[nonroot] = tree_capacity[nonroot] / caps[child_eids]
+    rload_per_edge = np.zeros(quotient.num_edges)
+    rload_per_edge[child_eids] = rload[nonroot]
+
+    children = nonroot.tolist()
+    if removal_policy == "classes":
+        removed = set(select_load_classes(rload, children, j))
+    elif removal_policy == "topj":
+        by_load = sorted(children, key=lambda c: -rload[c])
+        removed = set(by_load[: min(j, max(0, len(children) - 1))])
+    else:
+        raise GraphError(f"unknown removal_policy {removal_policy!r}")
+    removed.update(int(c) for c in extra_removals if tree.parent[c] >= 0)
+    return TreePhase(
+        tree=tree,
+        tree_edge_of_child=tree_edge_of_child,
+        tree_capacity=tree_capacity,
+        rload=rload,
+        rload_per_edge=rload_per_edge,
+        removed=sorted(removed),
+        phases=lsst.phases,
+    )
+
+
+def finish_jtree_step(quotient: Graph, phase: TreePhase) -> JTreeStep:
+    """Run stages 4–5 of a Madry step (skeleton, forest, core edges).
+
+    Deterministic given ``phase`` — no randomness is consumed, so the
+    MWU loop can run it for only the iteration it actually sampled.
+    """
+    n = quotient.num_nodes
+    tree = phase.tree
+    tree_capacity = phase.tree_capacity
+    tree_edge_of_child = phase.tree_edge_of_child
+    removed = phase.removed
+
+    # Forest T \ F and primary portals.
+    removed_set = set(removed)
+    children = np.flatnonzero(np.asarray(tree.parent, dtype=np.int64) >= 0)
+    forest_edges = [
+        (c, tree.parent[c], float(tree_capacity[c]))
+        for c in children.tolist()
+        if c not in removed_set
+    ]
+    primary = set()
+    for c in removed:
+        primary.add(c)
+        primary.add(tree.parent[c])
+    skeleton = build_skeleton(n, forest_edges, primary)
+
+    # Root every component at its portal; orient the forest.
+    deleted_keys = {
+        (a, b) for a, b, _ in skeleton.deleted_path_edges
+    }
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for c, p, _ in forest_edges:
+        if (min(c, p), max(c, p)) in deleted_keys:
+            continue
+        adjacency[c].append(p)
+        adjacency[p].append(c)
+    forest_parent = [-1] * n
+    forest_edge = [-1] * n
+    tec = tree_edge_of_child.tolist()
+    for comp_index, portal in enumerate(skeleton.component_portal):
+        stack = [portal]
+        seen = {portal}
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w in seen:
+                    continue
+                seen.add(w)
+                forest_parent[w] = v
+                forest_edge[w] = (
+                    tec[w] if tree.parent[w] == v else tec[v]
+                )
+                stack.append(w)
+
+    # Core edges: quotient edges crossing components (original capacity)
+    # plus D edges (tree capacity). D edges physically cross components.
+    # Emitted in quotient-edge-id order, matching the legacy loop: a
+    # spanning tree realizes each node pair by a unique edge, so each
+    # D pair is hit by exactly one tree edge and needs no dedup.
+    component = np.asarray(skeleton.component, dtype=np.int64)
+    tails, heads = quotient.edge_index_arrays()
+    comp_u = component[tails]
+    comp_v = component[heads]
+    eids = np.flatnonzero(comp_u != comp_v)
+    e_tails, e_heads = tails[eids], heads[eids]
+    is_tree = (tree_edge_of_child[e_tails] == eids) | (
+        tree_edge_of_child[e_heads] == eids
+    )
+    core_cap = quotient.capacities()[eids].copy()
+    is_d = np.zeros(len(eids), dtype=bool)
+    if skeleton.deleted_path_edges:
+        d_arr = np.asarray(
+            [(a, b) for a, b, _ in skeleton.deleted_path_edges],
+            dtype=np.int64,
+        )
+        d_caps = np.asarray(
+            [cap for _, _, cap in skeleton.deleted_path_edges], dtype=float
+        )
+        d_keys = d_arr[:, 0] * np.int64(n) + d_arr[:, 1]
+        d_order = np.argsort(d_keys)
+        d_keys = d_keys[d_order]
+        d_caps = d_caps[d_order]
+        e_keys = np.minimum(e_tails, e_heads).astype(np.int64) * np.int64(
+            n
+        ) + np.maximum(e_tails, e_heads)
+        pos = np.searchsorted(d_keys, e_keys)
+        pos_c = np.minimum(pos, len(d_keys) - 1)
+        found = d_keys[pos_c] == e_keys
+        is_d = is_tree & found
+        core_cap[is_d] = d_caps[pos_c[is_d]]
+    return JTreeStep(
+        tree=tree,
+        tree_edge_of_child=tec,
+        tree_capacity=tree_capacity,
+        rload=phase.rload,
+        rload_per_edge=phase.rload_per_edge,
+        removed_edges=list(removed),
+        skeleton=skeleton,
+        forest_parent=forest_parent,
+        forest_edge=forest_edge,
+        component_of=component.tolist(),
+        core_u=comp_u[eids],
+        core_v=comp_v[eids],
+        core_cap=core_cap,
+        core_origin=eids,
+        core_is_path=is_d,
+        num_components=len(skeleton.component_portal),
+        phases=phase.phases,
+    )
+
+
 def madry_jtree_step(
     quotient: Graph,
     lengths: Sequence[float] | None,
@@ -172,128 +424,12 @@ def madry_jtree_step(
     Returns:
         A :class:`JTreeStep`.
     """
-    rng = as_generator(rng)
-    n = quotient.num_nodes
-    if n < 2:
-        raise GraphError("madry step needs at least 2 clusters")
-    if lengths is None:
-        lengths = 1.0 / quotient.capacities()
-    lsst = akpw_spanning_tree(quotient, lengths=lengths, rng=rng)
-    tree = lsst.tree
-
-    # Map each tree edge (child, parent) to the quotient edge realizing
-    # it (akpw reports the chosen edge ids).
-    chosen_by_pair: dict[tuple[int, int], int] = {}
-    for eid in lsst.tree_edges:
-        u, v = quotient.endpoints(eid)
-        chosen_by_pair[(min(u, v), max(u, v))] = eid
-    tree_edge_of_child = [-1] * n
-    for c in range(n):
-        p = tree.parent[c]
-        if p >= 0:
-            tree_edge_of_child[c] = chosen_by_pair[(min(c, p), max(c, p))]
-
-    # Tree capacities = induced cut capacities (the |f'| of Lemma 8.3).
-    tree_capacity = induced_cut_capacities(quotient, tree)
-    rload = np.zeros(n)
-    for c in range(n):
-        eid = tree_edge_of_child[c]
-        if eid >= 0:
-            rload[c] = tree_capacity[c] / quotient.capacity(eid)
-    rload_per_edge = np.zeros(quotient.num_edges)
-    for c in range(n):
-        eid = tree_edge_of_child[c]
-        if eid >= 0:
-            rload_per_edge[eid] = rload[c]
-
-    children = [c for c in range(n) if tree.parent[c] >= 0]
-    if removal_policy == "classes":
-        removed = set(select_load_classes(rload, children, j))
-    elif removal_policy == "topj":
-        by_load = sorted(children, key=lambda c: -rload[c])
-        removed = set(by_load[: min(j, max(0, len(children) - 1))])
-    else:
-        raise GraphError(f"unknown removal_policy {removal_policy!r}")
-    removed.update(int(c) for c in extra_removals if tree.parent[c] >= 0)
-
-    # Forest T \ F and primary portals.
-    forest_edges = [
-        (c, tree.parent[c], float(tree_capacity[c]))
-        for c in children
-        if c not in removed
-    ]
-    primary = set()
-    for c in removed:
-        primary.add(c)
-        primary.add(tree.parent[c])
-    skeleton = build_skeleton(n, forest_edges, primary)
-
-    # Root every component at its portal; orient the forest.
-    deleted_keys = {
-        (a, b) for a, b, _ in skeleton.deleted_path_edges
-    }
-    adjacency: list[list[int]] = [[] for _ in range(n)]
-    for c, p, _ in forest_edges:
-        if (min(c, p), max(c, p)) in deleted_keys:
-            continue
-        adjacency[c].append(p)
-        adjacency[p].append(c)
-    forest_parent = [-1] * n
-    forest_edge = [-1] * n
-    for comp_index, portal in enumerate(skeleton.component_portal):
-        stack = [portal]
-        seen = {portal}
-        while stack:
-            v = stack.pop()
-            for w in adjacency[v]:
-                if w in seen:
-                    continue
-                seen.add(w)
-                forest_parent[w] = v
-                forest_edge[w] = (
-                    tree_edge_of_child[w]
-                    if tree.parent[w] == v
-                    else tree_edge_of_child[v]
-                )
-                stack.append(w)
-
-    # Core edges: quotient edges crossing components (original capacity)
-    # plus D edges (tree capacity). D edges physically cross components.
-    component = skeleton.component
-    core_edges: list[CoreEdge] = []
-    d_capacity = {
-        (a, b): cap for a, b, cap in skeleton.deleted_path_edges
-    }
-    d_emitted: set[tuple[int, int]] = set()
-    for e in quotient.edges():
-        cu, cv = component[e.u], component[e.v]
-        if cu == cv:
-            continue
-        pair = (min(e.u, e.v), max(e.u, e.v))
-        is_tree_edge = (
-            tree_edge_of_child[e.u] == e.id or tree_edge_of_child[e.v] == e.id
-        )
-        if is_tree_edge and pair in d_capacity and pair not in d_emitted:
-            core_edges.append(
-                CoreEdge(cu, cv, d_capacity[pair], e.id, True)
-            )
-            d_emitted.add(pair)
-        elif is_tree_edge and pair in d_capacity:
-            continue  # the D edge was already emitted once
-        else:
-            core_edges.append(CoreEdge(cu, cv, e.capacity, e.id, False))
-    return JTreeStep(
-        tree=tree,
-        tree_edge_of_child=tree_edge_of_child,
-        tree_capacity=tree_capacity,
-        rload=rload,
-        rload_per_edge=rload_per_edge,
-        removed_edges=sorted(removed),
-        skeleton=skeleton,
-        forest_parent=forest_parent,
-        forest_edge=forest_edge,
-        component_of=list(component),
-        core_edges=core_edges,
-        num_components=len(skeleton.component_portal),
-        phases=lsst.phases,
+    phase = madry_tree_phase(
+        quotient,
+        lengths,
+        j,
+        rng=rng,
+        extra_removals=extra_removals,
+        removal_policy=removal_policy,
     )
+    return finish_jtree_step(quotient, phase)

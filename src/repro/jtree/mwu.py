@@ -13,6 +13,30 @@ The library exposes the truncated construction (``num_trees``
 iterations, λ renormalized): Lemma 3.3 samples O(log n) trees from the
 distribution anyway, and Experiment E4 measures the resulting
 approximation quality directly.
+
+Two entry points:
+
+* :func:`build_jtree_distribution` materializes every iteration as a
+  full :class:`~repro.jtree.madry.JTreeStep` (the ablation /
+  inspection API);
+* :func:`sample_jtree_step` runs the same iterations but keeps only
+  the cheap :class:`~repro.jtree.madry.TreePhase` per iteration (the
+  MWU update consumes nothing else) and finishes skeleton/portals/core
+  edges for *only the sampled* iteration — the single-quotient form of
+  the lazy loop.
+
+The hierarchy itself does not call either entry point: its
+``_SampleState`` (:mod:`repro.jtree.hierarchy`) re-runs the same lazy
+loop level-synchronously across many samples, which is why the loop's
+ingredients are factored here — :func:`mwu_lengths` (the length
+update, applied stacked over samples there) and :func:`_mwu_lambda`
+(the truncation rule). All three loops share those helpers plus
+:func:`~repro.jtree.madry.madry_tree_phase` /
+:func:`~repro.jtree.madry.finish_jtree_step`, so their randomness
+streams are draw-for-draw identical for a fixed seed — the golden
+tests pin ``sample_jtree_step`` against
+``build_jtree_distribution(...).sample(...)`` and the batched
+hierarchy against the sequential one.
 """
 
 from __future__ import annotations
@@ -23,10 +47,22 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
-from repro.jtree.madry import JTreeStep, madry_jtree_step
+from repro.jtree.madry import (
+    JTreeStep,
+    TreePhase,
+    finish_jtree_step,
+    madry_jtree_step,
+    madry_tree_phase,
+)
 from repro.util.rng import as_generator
 
-__all__ = ["JTreeDistribution", "build_jtree_distribution"]
+__all__ = [
+    "JTreeDistribution",
+    "SampledJTree",
+    "build_jtree_distribution",
+    "sample_jtree_step",
+    "mwu_lengths",
+]
 
 #: Per-iteration potential growth target (λ_i = PROGRESS / max rload).
 PROGRESS = 0.5
@@ -34,6 +70,28 @@ PROGRESS = 0.5
 ETA = 1.0
 #: Cap on the potential exponent to keep lengths finite.
 MAX_EXPONENT = 40.0
+
+
+def mwu_lengths(potentials: np.ndarray, caps: np.ndarray) -> np.ndarray:
+    """The MWU edge lengths ``exp(min(η·potential, cap_exp)) / cap``.
+
+    Elementwise, so it applies unchanged to a single ``(m,)`` potential
+    vector or to a ``(num_samples, m)`` stack of them (the batched
+    hierarchy computes every active sample's lengths in one call;
+    broadcasting keeps the per-row results bitwise identical to the
+    per-sample computation, which the golden tests rely on).
+    """
+    return np.exp(np.minimum(ETA * potentials, MAX_EXPONENT)) / caps
+
+
+def _mwu_lambda(total: float, r_max: float) -> tuple[float, float]:
+    """One iteration's (λ, r_max) under the truncation rule."""
+    if r_max <= 0:
+        r_max = 1.0
+    lam = min(1.0 - total, PROGRESS / r_max)
+    if lam <= 0:
+        lam = PROGRESS / r_max
+    return lam, r_max
 
 
 @dataclass
@@ -55,6 +113,22 @@ class JTreeDistribution:
         rng = as_generator(rng)
         index = int(rng.choice(len(self.steps), p=self.weights))
         return self.steps[index]
+
+
+@dataclass
+class SampledJTree:
+    """One j-tree sampled from a (lazily built) MWU distribution.
+
+    Attributes:
+        step: The finished :class:`JTreeStep` of the sampled iteration.
+        phases: Total SplitGraph phases over *all* iterations (round
+            accounting charges the whole distribution build).
+        num_iterations: Iterations the truncated construction ran.
+    """
+
+    step: JTreeStep
+    phases: int
+    num_iterations: int
 
 
 def build_jtree_distribution(
@@ -86,17 +160,11 @@ def build_jtree_distribution(
     raw_weights: list[float] = []
     total = 0.0
     for _ in range(num_trees):
-        exponent = np.minimum(ETA * potentials, MAX_EXPONENT)
-        lengths = np.exp(exponent) / caps
+        lengths = mwu_lengths(potentials, caps)
         step = madry_jtree_step(
             quotient, lengths, j, rng=rng, removal_policy=removal_policy
         )
-        r_max = float(step.rload_per_edge.max())
-        if r_max <= 0:
-            r_max = 1.0
-        lam = min(1.0 - total, PROGRESS / r_max)
-        if lam <= 0:
-            lam = PROGRESS / r_max
+        lam, _ = _mwu_lambda(total, float(step.rload_per_edge.max()))
         steps.append(step)
         raw_weights.append(lam)
         total += lam
@@ -107,4 +175,50 @@ def build_jtree_distribution(
     weights = weights / weights.sum()
     return JTreeDistribution(
         steps=steps, weights=weights, potentials=potentials
+    )
+
+
+def sample_jtree_step(
+    quotient: Graph,
+    j: int,
+    num_trees: int,
+    rng: np.random.Generator | int | None = None,
+    removal_policy: str = "classes",
+) -> SampledJTree:
+    """Sample one j-tree from the truncated MWU distribution, lazily.
+
+    Runs the same iterations as :func:`build_jtree_distribution` but
+    materializes only the sampled iteration's skeleton / portals /
+    core edges (:func:`~repro.jtree.madry.finish_jtree_step` is
+    deterministic, so deferring it does not touch the randomness
+    stream). For a fixed seed the returned step equals
+    ``build_jtree_distribution(...).sample(rng)`` exactly.
+    """
+    if num_trees < 1:
+        raise GraphError("num_trees must be >= 1")
+    rng = as_generator(rng)
+    caps = quotient.capacities()
+    potentials = np.zeros(quotient.num_edges)
+    phases_list: list[TreePhase] = []
+    raw_weights: list[float] = []
+    total = 0.0
+    for _ in range(num_trees):
+        lengths = mwu_lengths(potentials, caps)
+        phase = madry_tree_phase(
+            quotient, lengths, j, rng=rng, removal_policy=removal_policy
+        )
+        lam, _ = _mwu_lambda(total, float(phase.rload_per_edge.max()))
+        phases_list.append(phase)
+        raw_weights.append(lam)
+        total += lam
+        potentials = potentials + lam * phase.rload_per_edge
+        if total >= 1.0:
+            break
+    weights = np.asarray(raw_weights, dtype=float)
+    weights = weights / weights.sum()
+    index = int(rng.choice(len(phases_list), p=weights))
+    return SampledJTree(
+        step=finish_jtree_step(quotient, phases_list[index]),
+        phases=sum(p.phases for p in phases_list),
+        num_iterations=len(phases_list),
     )

@@ -337,3 +337,125 @@ class TestCacheInvalidation:
         g.add_edge(1, 2, 1.0)
         excess = g.excess(np.array([1.0, 1.0]))
         np.testing.assert_allclose(excess, [-1.0, 0.0, 1.0])
+
+
+def _assert_caches_match_fresh(quotient: Graph):
+    """CSR / adjacency / connectivity of ``quotient`` (possibly seeded
+    or stale-if-buggy) must agree with a freshly built twin graph."""
+    fresh = Graph.from_edge_arrays(
+        quotient.num_nodes,
+        quotient.edge_index_arrays()[0].tolist(),
+        quotient.edge_index_arrays()[1].tolist(),
+        quotient.capacities().tolist(),
+    )
+    np.testing.assert_array_equal(quotient.csr().indptr, fresh.csr().indptr)
+    np.testing.assert_array_equal(
+        quotient.csr().neighbor, fresh.csr().neighbor
+    )
+    np.testing.assert_array_equal(quotient.csr().edge_id, fresh.csr().edge_id)
+    assert quotient.adjacency_lists() == fresh.adjacency_lists()
+    assert quotient.is_connected() == fresh.is_connected()
+    assert quotient.connected_components() == fresh.connected_components()
+
+
+class TestQuotientCacheSeeding:
+    """Regression: `contract` pre-seeds the quotient's CSR / adjacency /
+    connectivity caches; every seeded cache must be dropped by a
+    post-contraction structural mutation and must never disagree with a
+    freshly built graph."""
+
+    def _contract(self, seed, monkeypatch=None, tiny=False):
+        g = random_multigraph(seed, max_nodes=30)
+        if monkeypatch is not None:
+            # Force the desired dispatch path regardless of size.
+            limit = 10**9 if tiny else 0
+            monkeypatch.setattr(graph_mod, "TINY_GRAPH_LIMIT", limit)
+        labels = [v % 4 for v in range(g.num_nodes)]
+        quotient, _ = g.contract(labels)
+        return g, quotient
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scaled_contract_seeds_csr(self, seed, monkeypatch):
+        _, quotient = self._contract(seed, monkeypatch, tiny=False)
+        assert quotient._csr_cache is not None  # emitted by contraction
+        for arr in (quotient.csr().neighbor, quotient.csr().edge_id):
+            with pytest.raises(ValueError):
+                arr[:1] = 0  # seeded arrays keep the read-only contract
+        _assert_caches_match_fresh(quotient)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("tiny", [True, False])
+    def test_add_edge_after_contract_drops_seeded_caches(
+        self, seed, tiny, monkeypatch
+    ):
+        _, quotient = self._contract(seed, monkeypatch, tiny=tiny)
+        if quotient.num_nodes < 2:
+            return
+        quotient.csr()
+        quotient.adjacency_lists()
+        quotient.is_connected()
+        quotient.add_edge(0, quotient.num_nodes - 1, 2.5)
+        _assert_caches_match_fresh(quotient)
+        assert (quotient.num_nodes - 1, quotient.num_edges - 1) in (
+            quotient.neighbors(0)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("tiny", [True, False])
+    def test_set_capacity_after_contract_writes_through(
+        self, seed, tiny, monkeypatch
+    ):
+        _, quotient = self._contract(seed, monkeypatch, tiny=tiny)
+        if quotient.num_edges == 0:
+            return
+        caps = quotient.capacities()
+        csr_before = quotient.csr()
+        quotient.set_capacity(0, 42.5)
+        assert caps[0] == 42.5  # cached view sees the write
+        assert quotient.csr() is csr_before  # non-structural: seed survives
+        _assert_caches_match_fresh(quotient)
+
+    def test_connectivity_seed_only_propagates_true(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert not g.is_connected()
+        # Contracting a *disconnected* graph may connect it: the verdict
+        # must not be inherited.
+        quotient, _ = g.contract([0, 1, 0, 1])
+        assert quotient.is_connected()
+
+    def test_connected_verdict_propagates_through_contract(self):
+        g = random_multigraph(3)
+        g.is_connected()
+        quotient, _ = g.contract([v % 3 for v in range(g.num_nodes)])
+        _assert_caches_match_fresh(quotient)
+
+    def test_copy_shares_immutable_caches_safely(self):
+        g = random_multigraph(2)
+        csr = g.csr()
+        twin = g.copy()
+        assert twin.csr() is csr  # structure identical, arrays immutable
+        twin.add_edge(0, 1, 1.0)
+        assert g.csr() is csr  # the original's cache is untouched
+        _assert_caches_match_fresh(twin)
+
+
+class TestInt32Substrate:
+    def test_edge_arrays_are_int32(self):
+        g = random_multigraph(0)
+        tails, heads = g.edge_index_arrays()
+        assert tails.dtype == np.int32 and heads.dtype == np.int32
+        csr = g.csr()
+        assert csr.neighbor.dtype == np.int32
+        assert csr.edge_id.dtype == np.int32
+
+    def test_contract_emits_int32(self):
+        g = random_multigraph(1)
+        quotient, _ = g.contract([v % 3 for v in range(g.num_nodes)])
+        tails, heads = quotient.edge_index_arrays()
+        assert tails.dtype == np.int32 and heads.dtype == np.int32
+
+    def test_node_count_overflow_guarded(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="int32"):
+            Graph(2**31)

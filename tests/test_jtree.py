@@ -20,9 +20,12 @@ from repro.jtree import (
     build_jtree_distribution,
     build_skeleton,
     madry_jtree_step,
+    sample_jtree_step,
     sample_virtual_tree,
+    sample_virtual_trees,
     select_load_classes,
 )
+from repro.util.rng import as_generator, spawn
 
 
 class TestSkeleton:
@@ -285,3 +288,124 @@ class TestHierarchy:
         assert vt.phases > 0
         assert vt.levels >= 0
         assert len(vt.cluster_counts) >= 2
+
+
+class TestHierarchyParams:
+    def test_beta_floored_at_two(self):
+        assert HierarchyParams(beta=0.5).resolved_beta(100) == 2.0
+        assert HierarchyParams(beta=-3.0).resolved_beta(100) == 2.0
+        assert HierarchyParams(beta=8.0).resolved_beta(100) == 8.0
+
+    def test_default_beta_follows_paper_formula(self):
+        import math
+
+        n = 1024
+        expected = 2.0 ** (math.log2(n) ** 0.75)
+        assert HierarchyParams().resolved_beta(n) == pytest.approx(expected)
+
+    def test_final_threshold_resolution(self):
+        # Explicit values are floored at 2; the default is max(3, isqrt).
+        assert HierarchyParams(final_threshold=0).resolved_threshold(100) == 2
+        assert HierarchyParams(final_threshold=7).resolved_threshold(100) == 7
+        assert HierarchyParams().resolved_threshold(100) == 10
+        assert HierarchyParams().resolved_threshold(4) == 3
+
+    def test_max_levels_exhaustion_raises(self):
+        # Forcing deep recursion but allowing one level must fail loudly
+        # (GraphError) instead of looping or silently collapsing a huge
+        # remaining core.
+        g = random_connected(100, 0.05, rng=82)
+        params = HierarchyParams(
+            beta=2, final_threshold=5, removal_policy="topj", max_levels=1
+        )
+        with pytest.raises(GraphError, match="max_levels"):
+            sample_virtual_tree(g, rng=83, params=params)
+
+    def test_topj_deep_recursion_on_small_graph(self):
+        g = random_connected(30, 0.15, rng=86)
+        params = HierarchyParams(
+            beta=2, final_threshold=3, removal_policy="topj"
+        )
+        vt = sample_virtual_tree(g, rng=87, params=params)
+        assert vt.levels >= 2
+        assert vt.cluster_counts[0] == 30
+        pairs = {(min(e.u, e.v), max(e.u, e.v)) for e in g.edges()}
+        for v in range(30):
+            p = vt.tree.parent[v]
+            if p >= 0:
+                assert (min(v, p), max(v, p)) in pairs
+
+
+class TestBatchedSampling:
+    """Golden equivalence of the batched level-synchronous sampler, the
+    sequential reference path, and the legacy per-tree loop — all three
+    must be draw-for-draw identical for a fixed seed (the RNG-stream
+    pinning of the batched MWU path)."""
+
+    def _assert_same(self, a, b):
+        assert a.tree.parent == b.tree.parent
+        np.testing.assert_array_equal(a.tree.capacity, b.tree.capacity)
+        assert a.levels == b.levels
+        assert a.cluster_counts == b.cluster_counts
+        assert a.phases == b.phases
+        assert a.sparsifier_rounds == b.sparsifier_rounds
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batched_matches_sequential_and_legacy_loop(self, seed):
+        g = random_connected(70, 0.08, rng=100 + seed)
+        batched = sample_virtual_trees(g, 5, rng=seed, batched=True)
+        sequential = sample_virtual_trees(g, 5, rng=seed, batched=False)
+        legacy = [
+            sample_virtual_tree(g, rng=child)
+            for child in spawn(as_generator(seed), 5)
+        ]
+        assert len(batched) == len(sequential) == len(legacy) == 5
+        for a, b, c in zip(batched, sequential, legacy):
+            self._assert_same(a, b)
+            self._assert_same(a, c)
+
+    def test_batched_matches_with_deep_recursion_params(self):
+        g = random_connected(90, 0.06, rng=110)
+        params = HierarchyParams(
+            beta=2, final_threshold=4, removal_policy="topj"
+        )
+        batched = sample_virtual_trees(g, 4, rng=9, params=params)
+        sequential = sample_virtual_trees(
+            g, 4, rng=9, params=params, batched=False
+        )
+        for a, b in zip(batched, sequential):
+            self._assert_same(a, b)
+        assert any(vt.levels >= 2 for vt in batched)
+
+    def test_batched_matches_with_sparsification(self):
+        # Dense enough that the level-0 core is above the sparsifier
+        # target, so the per-sample cores diverge immediately and the
+        # stacked-lengths grouping degenerates to singletons.
+        g = random_connected(64, 0.6, rng=111)
+        batched = sample_virtual_trees(g, 4, rng=10)
+        sequential = sample_virtual_trees(g, 4, rng=10, batched=False)
+        assert any(vt.sparsifier_rounds > 0 for vt in batched)
+        for a, b in zip(batched, sequential):
+            self._assert_same(a, b)
+
+    def test_sample_jtree_step_matches_distribution_sample(self):
+        # The lazily finished sampled step equals building the full
+        # distribution and sampling from it, draw for draw.
+        g = random_connected(40, 0.12, rng=112)
+        full_rng = np.random.default_rng(33)
+        lazy_rng = np.random.default_rng(33)
+        dist = build_jtree_distribution(g, j=3, num_trees=4, rng=full_rng)
+        chosen = dist.sample(full_rng)
+        lazy = sample_jtree_step(g, j=3, num_trees=4, rng=lazy_rng)
+        assert lazy.step.forest_parent == chosen.forest_parent
+        assert lazy.step.forest_edge == chosen.forest_edge
+        assert lazy.step.component_of == chosen.component_of
+        assert lazy.step.num_components == chosen.num_components
+        assert lazy.step.core_edges == chosen.core_edges
+        assert lazy.phases == sum(s.phases for s in dist.steps)
+
+    def test_empty_and_single_node_requests(self):
+        assert sample_virtual_trees(Graph(1), 0, rng=1) == []
+        trees = sample_virtual_trees(Graph(1), 3, rng=1)
+        assert len(trees) == 3
+        assert all(vt.tree.num_nodes == 1 for vt in trees)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for CI.
+
+Re-measures the ``approximator_build_n{256,1024,4096}`` rows (median
+wall-clock of ``build_congestion_approximator``, same configuration the
+benchmark harness records) and fails — exit code 1 — if any median
+regresses more than ``--factor`` (default 2×) versus the checked-in
+``BENCH_graphcore.json`` baseline.
+
+Run from the repository root with ``src`` importable::
+
+    PYTHONPATH=src python tools/bench_regression.py
+
+The measurement configuration lives in ``benchmarks/conftest.py``
+(``APPROXIMATOR_BENCH_CONFIG``) so the gate and the recorded baselines
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", REPO_ROOT / "benchmarks" / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when median wall-clock exceeds baseline × factor",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_graphcore.json",
+        help="path to the checked-in baseline JSON",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["metrics"]
+    bench = _load_bench_module()
+    measured = bench.measure_approximator_benchmarks()
+
+    failures = []
+    for name, current_s in measured.items():
+        row = baseline.get(name)
+        if row is None:
+            print(f"SKIP {name}: no baseline row ({current_s:.4f}s measured)")
+            continue
+        base_s = float(row["after_s"])
+        ratio = current_s / base_s
+        status = "FAIL" if ratio > args.factor else "ok"
+        print(
+            f"{status:>4} {name}: baseline={base_s:.4f}s "
+            f"current={current_s:.4f}s ratio={ratio:.2f}x "
+            f"(limit {args.factor:.1f}x)"
+        )
+        if ratio > args.factor:
+            failures.append(name)
+    if failures:
+        print(f"benchmark regression in: {', '.join(failures)}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
