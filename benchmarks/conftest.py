@@ -24,9 +24,11 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core import build_congestion_approximator
+from repro.core.almost_route import almost_route
 from repro.graphs.generators import grid, path, random_connected, torus, weighted_variant
 
 
@@ -86,6 +88,32 @@ APPROXIMATOR_BENCH_CONFIG = {
     "approximator_build_n4096": (4096, 0.003, 940, 941, 3),
 }
 
+#: Median-of-N seconds at the PR 2 commit (per-tree operator loop with
+#: np.add.at, allocating AlmostRoute inner loop) for the apply-path
+#: rows added in PR 3 — R·b / Rᵀ·g products and one AlmostRoute solve
+#: at the same instances the build rows use.
+PR2_BASELINES = {
+    "approximator_apply_n256": 5.5612e-05,
+    "approximator_apply_transpose_n256": 6.3878e-05,
+    "almost_route_n256": 5.255766e-02,
+    "approximator_apply_n1024": 1.440910e-04,
+    "approximator_apply_transpose_n1024": 1.5913e-04,
+    "almost_route_n1024": 1.363081e-01,
+}
+
+#: nodes -> (edge probability, generator seed, build rng seed,
+#: data seed, operator reps, route reps) per apply-path benchmark
+#: scale — shared with tools/bench_regression.py and
+#: benchmarks/test_bench_almost_route.py.
+APPLY_BENCH_CONFIG = {
+    256: (0.05, 940, 941, 77, 200, 7),
+    1024: (0.012, 940, 941, 77, 100, 5),
+}
+#: AlmostRoute solve parameters for the almost_route_n* rows (a fixed
+#: iteration budget keeps the timed workload deterministic).
+APPLY_BENCH_ROUTE_EPSILON = 0.5
+APPLY_BENCH_ROUTE_MAX_ITERATIONS = 200
+
 
 def _best_time(fn, reps: int) -> float:
     values = []
@@ -115,6 +143,48 @@ def measure_approximator_benchmarks() -> dict[str, float]:
         out[name] = _median_time(
             lambda: build_congestion_approximator(g, rng=rseed, alpha=1.0),
             reps,
+        )
+    return out
+
+
+def apply_bench_instance(n: int):
+    """The (graph, approximator, demand, row_values) tuple every
+    apply-path benchmark row is measured on."""
+    p, gseed, rseed, dseed, _, _ = APPLY_BENCH_CONFIG[n]
+    g = random_connected(n, p, rng=gseed)
+    approx = build_congestion_approximator(g, rng=rseed, alpha=1.0)
+    rng = np.random.default_rng(dseed)
+    demand = rng.normal(size=n)
+    demand -= demand.mean()
+    row_values = rng.normal(size=approx.num_rows)
+    return g, approx, demand, row_values
+
+
+def measure_apply_benchmarks() -> dict[str, float]:
+    """Median R·b / Rᵀ·g product and AlmostRoute-solve wall-clock per
+    scale (also invoked by tools/bench_regression.py for the CI gate).
+
+    Measured on the default adaptive operator mode, i.e. the flat
+    stacked pass at these scales.
+    """
+    out = {}
+    for n, (_, _, _, _, op_reps, route_reps) in APPLY_BENCH_CONFIG.items():
+        g, approx, demand, row_values = apply_bench_instance(n)
+        out[f"approximator_apply_n{n}"] = _median_time(
+            lambda: approx.apply(demand), op_reps
+        )
+        out[f"approximator_apply_transpose_n{n}"] = _median_time(
+            lambda: approx.apply_transpose(row_values), op_reps
+        )
+        out[f"almost_route_n{n}"] = _median_time(
+            lambda: almost_route(
+                g,
+                approx,
+                demand,
+                APPLY_BENCH_ROUTE_EPSILON,
+                max_iterations=APPLY_BENCH_ROUTE_MAX_ITERATIONS,
+            ),
+            route_reps,
         )
     return out
 
@@ -188,6 +258,10 @@ def pytest_sessionfinish(session, exitstatus):
         approx = measure_approximator_benchmarks()
     except Exception:
         approx = {}
+    try:
+        apply_rows = measure_apply_benchmarks()
+    except Exception:
+        apply_rows = {}
     metrics = {
         name: {
             "before_s": SEED_BASELINES[name],
@@ -202,6 +276,12 @@ def pytest_sessionfinish(session, exitstatus):
             "after_s": measured,
             "speedup": round(PR1_BASELINES[name] / measured, 2),
         }
+    for name, measured in apply_rows.items():
+        metrics[name] = {
+            "before_s": PR2_BASELINES[name],
+            "after_s": measured,
+            "speedup": round(PR2_BASELINES[name] / measured, 2),
+        }
     report = {
         "description": (
             "Graph-substrate hot-path timings (seconds). bfs/contract/"
@@ -209,7 +289,11 @@ def pytest_sessionfinish(session, exitstatus):
             "adjacency lists) vs current. approximator_build_n{256,1024,"
             "4096} rows: median-of-N, PR 1 (per-sample hierarchy "
             "recursion) vs current (batched level-synchronous sampling "
-            "+ persistent quotient CSR + int32 indices)."
+            "+ persistent quotient CSR + int32 indices). "
+            "approximator_apply*/almost_route rows: median-of-N, PR 2 "
+            "(per-tree operator loop with np.add.at, allocating "
+            "AlmostRoute inner loop) vs current (flat stacked operator "
+            "+ workspace-buffered AlmostRoute)."
         ),
         "metrics": metrics,
     }

@@ -2,13 +2,18 @@
 
 from repro.core.softmax import smax, smax_and_gradient, smax_gradient
 from repro.core.approximator import (
+    StackedTreeOperator,
     TreeCongestionApproximator,
     TreeOperator,
     build_congestion_approximator,
     estimate_alpha_st,
     racke_sample_trees,
 )
-from repro.core.almost_route import AlmostRouteResult, almost_route
+from repro.core.almost_route import (
+    AlmostRouteResult,
+    RouteWorkspace,
+    almost_route,
+)
 from repro.core.maxflow import (
     ApproxFlow,
     ApproxMaxFlow,
@@ -26,12 +31,14 @@ __all__ = [
     "smax",
     "smax_and_gradient",
     "smax_gradient",
+    "StackedTreeOperator",
     "TreeCongestionApproximator",
     "TreeOperator",
     "build_congestion_approximator",
     "estimate_alpha_st",
     "racke_sample_trees",
     "AlmostRouteResult",
+    "RouteWorkspace",
     "almost_route",
     "ApproxFlow",
     "ApproxMaxFlow",

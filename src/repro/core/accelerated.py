@@ -11,7 +11,13 @@ this non-Euclidean geometry).
 
 The scaled-potential bookkeeping (17/16 re-scalings, kb/kf factors) is
 identical to :func:`repro.core.almost_route.almost_route`; benchmarks
-compare the two head-to-head (the ablation bench E6a2).
+compare the two head-to-head (the ablation bench E6a2). Like the plain
+variant, the inner loop is allocation free: all per-iteration vectors
+live in a reusable :class:`~repro.core.almost_route.RouteWorkspace`
+(plus the f/f_prev/z triple, which rotates by buffer swap), products
+run through the flat stacked operator with ``out=``, and re-scaling
+steps rescale the cached soft-max arguments instead of re-evaluating
+the residual and the R product.
 """
 
 from __future__ import annotations
@@ -21,12 +27,17 @@ import math
 import numpy as np
 
 from repro.core.almost_route import (
+    MAX_SCALINGS_PER_STEP,
     SCALE_STEP,
     TARGET_FACTOR,
     AlmostRouteResult,
+    RouteWorkspace,
+    _evaluate,
+    _gradient_delta,
+    _rescale_cached,
+    _sign_step,
 )
 from repro.core.approximator import TreeCongestionApproximator
-from repro.core.softmax import smax_and_gradient
 from repro.errors import ConvergenceError
 from repro.graphs.graph import Graph
 from repro.util.validation import check_demand
@@ -41,6 +52,7 @@ def accelerated_almost_route(
     epsilon: float,
     max_iterations: int | None = None,
     raise_on_budget: bool = False,
+    workspace: RouteWorkspace | None = None,
 ) -> AlmostRouteResult:
     """Momentum-accelerated Algorithm 2.
 
@@ -74,10 +86,15 @@ def accelerated_almost_route(
             delta=0.0,
             converged=True,
         )
-    kb = 2.0 * alpha * norm_rb / target
+    ws = RouteWorkspace.ensure(workspace, graph, approximator)
+    two_alpha = 2.0 * alpha
+    kb = two_alpha * norm_rb / target
     b = demand / kb
-    f = np.zeros(m)
-    f_prev = np.zeros(m)
+    f = ws.flow
+    f_prev = ws.flow_prev
+    z = ws.lookahead
+    f[:] = 0.0
+    f_prev[:] = 0.0
     kf = 1.0
     scalings = 0
     iterations = 0
@@ -87,40 +104,36 @@ def accelerated_almost_route(
     delta = float("inf")
     converged = False
 
-    def evaluate(flow: np.ndarray, b_now: np.ndarray):
-        residual = b_now + graph.excess(flow)
-        phi1, g1 = smax_and_gradient(flow / caps)
-        y = 2.0 * alpha * approximator.apply(residual)
-        phi2, g2 = smax_and_gradient(y)
-        return phi1 + phi2, g1, g2
-
     while iterations < max_iterations:
-        potential, _, _ = evaluate(f, b)
+        potential = _evaluate(ws, graph, approximator, caps, two_alpha, b, f)
         inner_guard = 0
-        while potential < target and inner_guard < 4096:
-            f *= SCALE_STEP
-            f_prev *= SCALE_STEP
-            b *= SCALE_STEP
+        while potential < target and inner_guard < MAX_SCALINGS_PER_STEP:
+            np.multiply(f, SCALE_STEP, out=f)
+            np.multiply(f_prev, SCALE_STEP, out=f_prev)
+            np.multiply(b, SCALE_STEP, out=b)
             kf *= SCALE_STEP
             scalings += 1
             inner_guard += 1
-            potential, _, _ = evaluate(f, b)
+            potential = _rescale_cached(ws)
         # Momentum restart when the potential went up.
         if potential > last_potential:
             momentum_age = 0
-            f_prev = f.copy()
+            f_prev[:] = f
         last_potential = potential
         beta = momentum_age / (momentum_age + 3.0)
-        z = f + beta * (f - f_prev)
-        _, g1, g2 = evaluate(z, b)
-        pi = approximator.apply_transpose(g2)
-        grad = g1 / caps + 2.0 * alpha * (pi[heads] - pi[tails])
-        delta = float(np.sum(caps * np.abs(grad)))
+        np.subtract(f, f_prev, out=z)
+        np.multiply(z, beta, out=z)
+        np.add(z, f, out=z)
+        _evaluate(ws, graph, approximator, caps, two_alpha, b, z)
+        delta = _gradient_delta(ws, approximator, caps, tails, heads, two_alpha)
         if delta < eps / 4.0:
             converged = True
             break
-        f_prev = f
-        f = z - np.sign(grad) * caps * (delta / (1.0 + 4.0 * alpha**2))
+        _sign_step(ws, caps, delta / (1.0 + 4.0 * alpha**2))
+        # f_prev ← f, f ← z − step: rotate the buffer triple so the
+        # discarded previous-previous iterate receives the new point.
+        np.subtract(z, ws.step, out=f_prev)
+        f, f_prev = f_prev, f
         momentum_age += 1
         iterations += 1
 

@@ -17,8 +17,19 @@ by 17/16 whenever the potential drops below that sharpness threshold
 Gradient structure (paper Eqs. (3)–(4)): the φ₂ part needs one R
 product (for y) and one Rᵀ product (for the node potentials π); then
 ``∂φ₂/∂f_e = 2α (π_head − π_tail)``. Distributedly these are the
-convergecast/downcast of Corollary 9.3; here they are the Euler-tour
-operators of :class:`~repro.core.approximator.TreeOperator`.
+convergecast/downcast of Corollary 9.3; here they are one flat stacked
+pass over all virtual trees
+(:class:`~repro.core.stacked.StackedTreeOperator`).
+
+The inner loop is **allocation free**: every per-iteration vector
+(residual, y, gradients, sign-step) lives in a
+:class:`RouteWorkspace` that callers may reuse across AlmostRoute
+invocations (the residual rounds of ``min_congestion_flow``, the
+binary-search sweep of ``max_flow_binary_search``), and every NumPy
+step writes through ``out=``. The 17/16 re-scaling sub-loop exploits
+linearity — ``C⁻¹(sf)`` and ``R(b + Bf)`` both scale by ``s`` — so a
+scaling step re-evaluates only the two soft-maxes instead of paying a
+full residual + R product evaluation.
 """
 
 from __future__ import annotations
@@ -34,12 +45,137 @@ from repro.errors import ConvergenceError
 from repro.graphs.graph import Graph
 from repro.util.validation import check_demand
 
-__all__ = ["AlmostRouteResult", "almost_route"]
+__all__ = ["AlmostRouteResult", "RouteWorkspace", "almost_route"]
 
 #: Scale-up factor of Algorithm 2 line 5.
 SCALE_STEP = 17.0 / 16.0
 #: Sharpness target multiplier: φ is kept at >= TARGET_FACTOR·ln(n)/ε.
 TARGET_FACTOR = 16.0
+#: Hard cap on consecutive 17/16 re-scalings per outer iteration.
+MAX_SCALINGS_PER_STEP = 4096
+
+
+class RouteWorkspace:
+    """Preallocated buffers for the AlmostRoute inner loop.
+
+    One workspace is sized for one (graph, approximator) pair — m-, n-
+    and num_rows-shaped vectors — and is reused across gradient steps
+    and across AlmostRoute calls. Build it once per solve sweep
+    (``min_congestion_flow`` and ``max_flow_binary_search`` do this
+    automatically) and hand it to every call on the same pair.
+    """
+
+    def __init__(
+        self, graph: Graph, approximator: TreeCongestionApproximator
+    ) -> None:
+        m = graph.num_edges
+        n = graph.num_nodes
+        rows = approximator.num_rows
+        self.shape_key = (m, n, rows)
+        # m-shaped
+        self.flow = np.empty(m)
+        self.flow_prev = np.empty(m)
+        self.lookahead = np.empty(m)
+        self.c1 = np.empty(m)
+        self.g1 = np.empty(m)
+        self.m_scratch = np.empty(m)
+        self.grad = np.empty(m)
+        self.step = np.empty(m)
+        # n-shaped
+        self.excess = np.empty(n)
+        self.residual = np.empty(n)
+        self.pi = np.empty(n)
+        # row-shaped
+        self.y = np.empty(rows)
+        self.g2 = np.empty(rows)
+        self.r_scratch = np.empty(rows)
+
+    @classmethod
+    def ensure(
+        cls,
+        workspace: "RouteWorkspace | None",
+        graph: Graph,
+        approximator: TreeCongestionApproximator,
+    ) -> "RouteWorkspace":
+        """Return ``workspace`` if it fits the pair, else a fresh one."""
+        key = (graph.num_edges, graph.num_nodes, approximator.num_rows)
+        if workspace is not None and workspace.shape_key == key:
+            return workspace
+        return cls(graph, approximator)
+
+
+def _evaluate(
+    ws: RouteWorkspace,
+    graph: Graph,
+    approximator: TreeCongestionApproximator,
+    caps: np.ndarray,
+    two_alpha: float,
+    b: np.ndarray,
+    flow: np.ndarray,
+) -> float:
+    """Full potential evaluation at ``flow``; fills ws.c1/g1/y/g2.
+
+    Shared verbatim by :func:`almost_route` and
+    :func:`~repro.core.accelerated.accelerated_almost_route` so the two
+    solvers can never diverge in fold order (the bit-identity contract
+    of the flat/per-tree paths rides on these exact sequences).
+    """
+    graph.excess(flow, out=ws.excess)
+    np.add(b, ws.excess, out=ws.residual)
+    np.divide(flow, caps, out=ws.c1)
+    phi1, _ = smax_and_gradient(ws.c1, out=ws.g1, scratch=ws.m_scratch)
+    approximator.apply(ws.residual, out=ws.y)
+    np.multiply(ws.y, two_alpha, out=ws.y)
+    phi2, _ = smax_and_gradient(ws.y, out=ws.g2, scratch=ws.r_scratch)
+    return phi1 + phi2
+
+
+def _rescale_cached(ws: RouteWorkspace) -> float:
+    """One 17/16 sharpening step on the cached soft-max arguments.
+
+    Both potential halves are linear in (f, b) — ``C⁻¹(sf)`` and
+    ``R(s·(b + Bf))`` scale by s — so a scaling step only rescales the
+    cached arguments and re-runs the two soft-maxes: no residual
+    recomputation, no R product. Returns the new potential.
+    """
+    np.multiply(ws.c1, SCALE_STEP, out=ws.c1)
+    np.multiply(ws.y, SCALE_STEP, out=ws.y)
+    phi1, _ = smax_and_gradient(ws.c1, out=ws.g1, scratch=ws.m_scratch)
+    phi2, _ = smax_and_gradient(ws.y, out=ws.g2, scratch=ws.r_scratch)
+    return phi1 + phi2
+
+
+def _gradient_delta(
+    ws: RouteWorkspace,
+    approximator: TreeCongestionApproximator,
+    caps: np.ndarray,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    two_alpha: float,
+) -> float:
+    """Gradient (Eqs. (3)–(4)) into ws.grad; returns δ = Σ cap·|grad|.
+
+    ``grad = g1/caps + 2α(π_head − π_tail)``. mode="clip": endpoint
+    indices are in-bounds by construction, so take can skip its
+    per-element bounds check.
+    """
+    approximator.apply_transpose(ws.g2, out=ws.pi)
+    np.take(ws.pi, heads, out=ws.grad, mode="clip")
+    np.take(ws.pi, tails, out=ws.step, mode="clip")
+    np.subtract(ws.grad, ws.step, out=ws.grad)
+    np.multiply(ws.grad, two_alpha, out=ws.grad)
+    np.divide(ws.g1, caps, out=ws.step)
+    np.add(ws.step, ws.grad, out=ws.grad)
+    np.abs(ws.grad, out=ws.step)
+    np.multiply(ws.step, caps, out=ws.step)
+    return float(ws.step.sum())
+
+
+def _sign_step(ws: RouteWorkspace, caps: np.ndarray, scale: float) -> None:
+    """Fill ws.step with the movement ``sign(grad)·cap·scale``."""
+    np.sign(ws.grad, out=ws.step)
+    np.multiply(ws.step, caps, out=ws.step)
+    np.multiply(ws.step, scale, out=ws.step)
 
 
 @dataclass
@@ -72,6 +208,7 @@ def almost_route(
     epsilon: float,
     max_iterations: int | None = None,
     raise_on_budget: bool = False,
+    workspace: RouteWorkspace | None = None,
 ) -> AlmostRouteResult:
     """Run Algorithm 2.
 
@@ -85,6 +222,9 @@ def almost_route(
         raise_on_budget: If True, raise :class:`ConvergenceError` when
             the budget is exhausted; otherwise return the best iterate
             with ``converged=False``.
+        workspace: Optional preallocated :class:`RouteWorkspace` to
+            reuse across calls on the same (graph, approximator) pair;
+            built internally when omitted or mis-sized.
 
     Returns:
         An :class:`AlmostRouteResult`. ``flow`` is *not* necessarily
@@ -118,10 +258,13 @@ def almost_route(
             delta=0.0,
             converged=True,
         )
+    ws = RouteWorkspace.ensure(workspace, graph, approximator)
+    two_alpha = 2.0 * alpha
     # Line 1: scale so that 2α‖Rb‖∞ = target.
-    kb = 2.0 * alpha * norm_rb / target
+    kb = two_alpha * norm_rb / target
     b = demand / kb
-    f = np.zeros(m)
+    f = ws.flow
+    f[:] = 0.0
     kf = 1.0
     scalings = 0
     iterations = 0
@@ -129,32 +272,24 @@ def almost_route(
     delta = float("inf")
     converged = False
 
-    def evaluate(flow: np.ndarray, b_now: np.ndarray):
-        residual = b_now + graph.excess(flow)
-        phi1, g1 = smax_and_gradient(flow / caps)
-        y = 2.0 * alpha * approximator.apply(residual)
-        phi2, g2 = smax_and_gradient(y)
-        return residual, phi1 + phi2, g1, g2
-
     while iterations < max_iterations:
-        residual, potential, g1, g2 = evaluate(f, b)
-        # Lines 4–5: keep the soft-max sharp.
+        potential = _evaluate(ws, graph, approximator, caps, two_alpha, b, f)
+        # Lines 4–5: keep the soft-max sharp (linearity: only the
+        # cached soft-max arguments are rescaled; see _rescale_cached).
         inner_guard = 0
-        while potential < target and inner_guard < 4096:
-            f *= SCALE_STEP
-            b *= SCALE_STEP
+        while potential < target and inner_guard < MAX_SCALINGS_PER_STEP:
+            np.multiply(f, SCALE_STEP, out=f)
+            np.multiply(b, SCALE_STEP, out=b)
             kf *= SCALE_STEP
             scalings += 1
             inner_guard += 1
-            residual, potential, g1, g2 = evaluate(f, b)
-        # Gradient (Eqs. (3)–(4)).
-        pi = approximator.apply_transpose(g2)
-        grad = g1 / caps + 2.0 * alpha * (pi[heads] - pi[tails])
-        delta = float(np.sum(caps * np.abs(grad)))
+            potential = _rescale_cached(ws)
+        delta = _gradient_delta(ws, approximator, caps, tails, heads, two_alpha)
         if delta < eps / 4.0:
             converged = True
             break
-        f = f - np.sign(grad) * caps * (delta / (1.0 + 4.0 * alpha**2))
+        _sign_step(ws, caps, delta / (1.0 + 4.0 * alpha**2))
+        np.subtract(f, ws.step, out=f)
         iterations += 1
 
     if not converged and raise_on_budget:

@@ -14,11 +14,18 @@ and Rᵀ are the inner loop of the gradient descent, so both are
 implemented with Euler-tour index arithmetic — O(n) NumPy work per tree
 per product, the centralized mirror of the Õ(√n + D)-round distributed
 convergecast/downcast of Corollary 9.3.
+
+Two bit-identical execution paths compute the products (the adaptive
+small-instance convention of the substrate): a per-tree loop over
+:class:`TreeOperator` blocks, and — for anything beyond tiny graphs —
+the flat fused :class:`~repro.core.stacked.StackedTreeOperator`, which
+runs the whole stack as one gather / segmented-cumsum / scatter pass
+(see that module's docstring for the stacked-segment layout).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 import numpy as np
@@ -28,6 +35,7 @@ from repro.flow.mst import maximum_spanning_tree
 from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
+from repro.core.stacked import StackedTreeOperator
 from repro.jtree.hierarchy import HierarchyParams, sample_virtual_trees
 from repro.jtree.madry import madry_jtree_step
 from repro.lsst.akpw import akpw_spanning_tree
@@ -35,6 +43,7 @@ from repro.util.rng import as_generator
 
 __all__ = [
     "TreeOperator",
+    "StackedTreeOperator",
     "TreeCongestionApproximator",
     "build_congestion_approximator",
     "racke_sample_trees",
@@ -70,6 +79,9 @@ class TreeOperator:
                 "must be connected"
             )
         self.row_capacity = caps
+        # Precomputed once so both the per-tree and the flat stacked
+        # path scale rows with the same multiply (bit-identical folds).
+        self.row_inv_capacity = 1.0 / caps
 
     @property
     def num_rows(self) -> int:
@@ -82,7 +94,7 @@ class TreeOperator:
 
     def apply(self, demand: np.ndarray) -> np.ndarray:
         """One block of R·b: signed cut congestion per tree edge."""
-        return self.subtree_sums(demand) / self.row_capacity
+        return self.subtree_sums(demand) * self.row_inv_capacity
 
     def apply_transpose(self, row_values: np.ndarray) -> np.ndarray:
         """One block of Rᵀ·g: node potentials π.
@@ -93,7 +105,7 @@ class TreeOperator:
         """
         n = self.tree.num_nodes
         diff = np.zeros(n + 1)
-        weights = row_values / self.row_capacity
+        weights = row_values * self.row_inv_capacity
         np.add.at(diff, self.tin[self.row_nodes], weights)
         np.subtract.at(diff, self.tout[self.row_nodes], weights)
         return np.cumsum(diff[:-1])[self.tin]
@@ -109,12 +121,21 @@ class TreeCongestionApproximator:
         alpha: The α used by the gradient descent (an upper bound on the
             worst-case ratio opt(b) / ‖Rb‖_∞; estimated or supplied).
         method: Which construction produced the trees (diagnostics).
+        operator_mode: Which product implementation to run —
+            ``"adaptive"`` (flat stacked pass beyond tiny graphs, the
+            substrate's small-instance convention), ``"flat"`` or
+            ``"per_tree"`` (forced; the two are golden-tested
+            bit-identical, so forcing is for tests/benchmarks only).
     """
 
     graph: Graph
     operators: list[TreeOperator]
     alpha: float
     method: str = "hierarchy"
+    operator_mode: str = "adaptive"
+    _stacked: StackedTreeOperator | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_trees(self) -> int:
@@ -124,15 +145,55 @@ class TreeCongestionApproximator:
     def num_rows(self) -> int:
         return sum(op.num_rows for op in self.operators)
 
-    def apply(self, demand: np.ndarray) -> np.ndarray:
-        """Compute R·b (concatenated over trees)."""
-        demand = np.asarray(demand, dtype=float)
-        return np.concatenate([op.apply(demand) for op in self.operators])
+    def stacked(self) -> StackedTreeOperator:
+        """The flat fused operator (built lazily, then cached; the
+        operator list must not be mutated afterwards)."""
+        if self._stacked is None:
+            self._stacked = StackedTreeOperator(
+                self.operators, self.graph.num_nodes
+            )
+        return self._stacked
 
-    def apply_transpose(self, row_values: np.ndarray) -> np.ndarray:
+    def _use_flat(self) -> bool:
+        if self.operator_mode == "flat":
+            return True
+        if self.operator_mode == "per_tree":
+            return False
+        if self.operator_mode != "adaptive":
+            raise GraphError(
+                f"unknown operator_mode {self.operator_mode!r}"
+            )
+        return not self.graph.is_tiny()
+
+    def apply(
+        self, demand: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Compute R·b (concatenated over trees).
+
+        ``out=`` (shape ``(num_rows,)``) makes the flat path allocation
+        free; the per-tree path copies into it.
+        """
+        demand = np.asarray(demand, dtype=float)
+        if self._use_flat():
+            return self.stacked().apply(demand, out=out)
+        blocks = [op.apply(demand) for op in self.operators]
+        result = np.concatenate(blocks) if blocks else np.zeros(0)
+        if out is None:
+            return result
+        out[:] = result
+        return out
+
+    def apply_transpose(
+        self, row_values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Compute Rᵀ·g as node potentials."""
         row_values = np.asarray(row_values, dtype=float)
-        out = np.zeros(self.graph.num_nodes)
+        if self._use_flat():
+            return self.stacked().apply_transpose(row_values, out=out)
+        if out is None:
+            out = np.zeros(self.graph.num_nodes)
+        else:
+            out[:] = 0.0
         offset = 0
         for op in self.operators:
             block = row_values[offset : offset + op.num_rows]
@@ -142,6 +203,8 @@ class TreeCongestionApproximator:
 
     def estimate(self, demand: np.ndarray) -> float:
         """‖Rb‖_∞ — the lower-bound congestion estimate for ``demand``."""
+        if self._use_flat():
+            return self.stacked().estimate(np.asarray(demand, dtype=float))
         return float(np.abs(self.apply(demand)).max(initial=0.0))
 
     def trees(self) -> list[RootedTree]:
@@ -218,7 +281,12 @@ def estimate_alpha_st(
             continue
         demand = np.zeros(n)
         demand[s], demand[t] = 1.0, -1.0
-        opt = 1.0 / dinic_max_flow(graph, s, t).value
+        value = dinic_max_flow(graph, s, t).value
+        if value <= 0:
+            # Degenerate/disconnected pair: no finite congestion bound
+            # to learn from; skip rather than divide by zero.
+            continue
+        opt = 1.0 / value
         estimate = approximator.estimate(demand)
         if estimate > 0:
             worst = max(worst, opt / estimate)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.almost_route import RouteWorkspace
 from repro.core.approximator import (
     TreeCongestionApproximator,
     build_congestion_approximator,
@@ -85,6 +86,8 @@ def max_flow_binary_search(
     rng = as_generator(rng)
     if approximator is None:
         approximator = build_congestion_approximator(graph, rng=rng)
+    # One AlmostRoute workspace serves the entire bisection sweep.
+    workspace = RouteWorkspace(graph, approximator)
     unit = st_demand(graph, source, sink, 1.0)
     unit_estimate = approximator.estimate(unit)
     if unit_estimate <= 0:
@@ -104,6 +107,7 @@ def max_flow_binary_search(
             epsilon=epsilon,
             approximator=approximator,
             rng=rng,
+            workspace=workspace,
         )
         steps += 1
         if routing.congestion <= 1.0 + 1e-12:
@@ -130,6 +134,7 @@ def max_flow_binary_search(
             epsilon=epsilon,
             approximator=approximator,
             rng=rng,
+            workspace=workspace,
         )
         best_value = 1.0 / routing.congestion
         best_flow = routing.flow / routing.congestion

@@ -26,7 +26,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.almost_route import AlmostRouteResult, almost_route
+from repro.core.almost_route import (
+    AlmostRouteResult,
+    RouteWorkspace,
+    almost_route,
+)
 from repro.core.approximator import (
     TreeCongestionApproximator,
     build_congestion_approximator,
@@ -108,6 +112,7 @@ def min_congestion_flow(
     rng: np.random.Generator | int | None = None,
     max_iterations: int | None = None,
     residual_rounds: int | None = None,
+    workspace: RouteWorkspace | None = None,
 ) -> ApproxFlow:
     """Route ``demand`` with approximately minimal congestion.
 
@@ -121,6 +126,10 @@ def min_congestion_flow(
         max_iterations: Per-call gradient budget override.
         residual_rounds: Number of residual AlmostRoute rounds
             (default ``ceil(log2 m) + 1``, Algorithm 1 line 2).
+        workspace: Optional preallocated AlmostRoute workspace; built
+            once here and shared by every residual round (callers
+            sweeping many demands — e.g. the binary search — pass one
+            in to amortize it further).
 
     Returns:
         An :class:`ApproxFlow` whose flow routes ``demand`` exactly.
@@ -129,6 +138,7 @@ def min_congestion_flow(
     rng = as_generator(rng)
     if approximator is None:
         approximator = build_congestion_approximator(graph, rng=rng)
+    workspace = RouteWorkspace.ensure(workspace, graph, approximator)
     m = graph.num_edges
     if residual_rounds is None:
         residual_rounds = int(math.ceil(math.log2(max(m, 2)))) + 1
@@ -153,6 +163,7 @@ def min_congestion_flow(
             residual,
             accuracy,
             max_iterations=max_iterations,
+            workspace=workspace,
         )
         total_flow += result.flow
         iterations += result.iterations
@@ -185,6 +196,7 @@ def max_flow(
     approximator: TreeCongestionApproximator | None = None,
     rng: np.random.Generator | int | None = None,
     max_iterations: int | None = None,
+    workspace: RouteWorkspace | None = None,
 ) -> ApproxMaxFlow:
     """Compute a (1 + ε′)-approximate maximum s-t flow (Theorem 1.1).
 
@@ -196,6 +208,8 @@ def max_flow(
         approximator: Optional prebuilt congestion approximator.
         rng: Randomness for approximator construction.
         max_iterations: Per-AlmostRoute gradient budget override.
+        workspace: Optional preallocated AlmostRoute workspace, reused
+            across the residual rounds (and by repeat callers).
 
     Returns:
         An :class:`ApproxMaxFlow` whose ``flow`` is exactly feasible and
@@ -218,6 +232,7 @@ def max_flow(
         approximator=approximator,
         rng=rng,
         max_iterations=max_iterations,
+        workspace=workspace,
     )
     congestion = routed.congestion
     if congestion <= 0:

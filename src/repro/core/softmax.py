@@ -9,6 +9,12 @@ makes the descent focus on the most congested edges and cuts.
 
 Everything is computed in log-space with max-subtraction so the
 (deliberately large, Θ(ε⁻¹ log n)) arguments never overflow.
+
+:func:`smax_and_gradient` is the per-iteration form: with ``out=`` and
+``scratch=`` buffers (both shaped like ``y``) it performs no
+allocation, which the AlmostRoute workspace relies on. The buffered and
+unbuffered paths execute the identical operation sequence, so results
+are bit-identical.
 """
 
 from __future__ import annotations
@@ -43,13 +49,39 @@ def smax_gradient(y: np.ndarray) -> np.ndarray:
     return (pos - neg) / (pos.sum() + neg.sum())
 
 
-def smax_and_gradient(y: np.ndarray) -> tuple[float, np.ndarray]:
-    """Return ``(smax(y), grad smax(y))`` sharing one pass."""
+def smax_and_gradient(
+    y: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Return ``(smax(y), grad smax(y))`` sharing one pass.
+
+    Args:
+        y: Argument vector.
+        out: Optional buffer (shape of ``y``) receiving the gradient.
+        scratch: Optional same-shaped work buffer; with both buffers
+            the call allocates nothing.
+    """
     y = np.asarray(y, dtype=float)
     if y.size == 0:
-        return float("-inf"), np.zeros(0)
+        # Slice (not return) the buffer so the result is always a
+        # correctly-shaped empty gradient, never stale buffer content.
+        return float("-inf"), (np.zeros(0) if out is None else out[:0])
+    for name, buf in (("out", out), ("scratch", scratch)):
+        # y is read after the buffers are written; aliasing would
+        # silently corrupt both the value and the gradient.
+        if buf is not None and np.may_share_memory(buf, y):
+            raise ValueError(f"{name} buffer must not alias y")
     m = float(np.abs(y).max())
-    pos = np.exp(y - m)
-    neg = np.exp(-y - m)
+    pos = out if out is not None else np.empty_like(y)
+    neg = scratch if scratch is not None else np.empty_like(y)
+    np.subtract(y, m, out=pos)
+    np.exp(pos, out=pos)
+    np.negative(y, out=neg)
+    np.subtract(neg, m, out=neg)
+    np.exp(neg, out=neg)
     total = pos.sum() + neg.sum()
-    return m + float(np.log(total)), (pos - neg) / total
+    value = m + float(np.log(total))
+    np.subtract(pos, neg, out=pos)
+    np.true_divide(pos, total, out=pos)
+    return value, pos

@@ -1,0 +1,228 @@
+"""Flat stacked congestion-approximator operator (one pass per product).
+
+The per-tree :class:`~repro.core.approximator.TreeOperator`s compute
+``R·b`` / ``Rᵀ·g`` one O(n) block at a time — a Python loop over the
+O(log n) virtual trees, a ``np.concatenate`` per ``apply``, per-call
+index slicing, and two ``ufunc.at`` scatters per ``apply_transpose``.
+Since every AlmostRoute gradient step performs both products, that
+per-tree dispatch overhead is the end-to-end hot path (measured: the
+fused pass below wins ~3×/~2× at n=256/1024 — see
+``BENCH_graphcore.json``; the residual floor is the sequential
+segmented cumsum plus the scatter, which both paths share). This module fuses the blocks into **one**
+stacked operator built once at approximator-construction time, the same
+"batch all per-round work into a single synchronous pass" discipline the
+hierarchy sampler adopted in PR 2.
+
+Stacked-segment layout
+======================
+
+All ``T`` virtual trees span the same ``n`` graph nodes, so every
+per-tree array is a fixed-width segment and the stack is a dense plane:
+
+* ``_order`` — ``(T·n,)`` concatenated DFS preorders; entries are node
+  ids (< n), i.e. gather indices into the demand vector.
+* prefix plane — the gathered demand reshaped ``(T, n)`` and turned
+  into inclusive prefix sums by one in-place ``np.cumsum(axis=1)``
+  (row-wise cumsum is the *same* sequential left-fold as the per-tree
+  1-D cumsum, which is what makes the paths bit-identical). Row nodes
+  are never the root, so ``tin ≥ 1`` and the per-tree *exclusive*
+  prefix ``P[k]`` is exactly the inclusive ``Q[k−1]`` — no zero column
+  needed.
+* ``_tin_rows`` / ``_tout_rows`` — flattened indices ``t·n + tin − 1``
+  / ``t·n + tout − 1`` of the non-root row nodes, concatenated in tree
+  order; ``R·b`` is then two fancy-index lookups into the prefix plane
+  plus one multiply by the precomputed ``_row_inv_capacity``.
+* scatter plan — the Euler range-update targets of ``Rᵀ·g`` (``+w`` at
+  ``tin``, ``−w`` at ``tout``, *unshifted*) are a *fixed* index
+  multiset ``concat(t·(n+1)+tin, t·(n+1)+tout)`` into a ``(T, n+1)``
+  diff plane, materialized per call by **one**
+  ``np.bincount`` over the signed weights (``+w`` then ``-w``).
+  ``bincount`` accumulates strictly in input order — the same
+  sequential fold as the legacy ``np.add.at``/``np.subtract.at`` pair
+  (adds before subtracts, ascending row order within each), so results
+  are bit-identical without ``ufunc.at``'s per-element dispatch cost.
+  (``np.add.reduceat`` would be allocation free but sums segments
+  pairwise, which breaks the bit-identity contract.)
+* ``_pot_rows`` — ``(T·n,)`` flattened indices ``t·n + tin`` (all
+  nodes) into the row-wise cumsum of the diff plane; the per-tree node
+  potentials are gathered in one take and accumulated tree by tree
+  (``0 + x == x`` exactly, so the accumulation matches the per-tree
+  ``out += block`` loop bit for bit).
+
+Segments sharing one global cumsum would leak floating-point carry
+across tree boundaries; the ``(T, ·)`` plane resets every row for free.
+
+All scratch planes are preallocated on the operator, and ``apply`` /
+``apply_transpose`` accept ``out=`` — with a caller-provided output
+``apply`` allocates nothing and ``apply_transpose``'s only per-call
+allocation is ``bincount``'s diff-plane output (the price of the exact
+fold), which is what the AlmostRoute workspace
+(:class:`~repro.core.almost_route.RouteWorkspace`) relies on.
+
+A natural follow-on (ROADMAP) is sharding the ``(T, ·)`` planes across
+workers: rows are independent, so the split is a data partition, not a
+rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.approximator import TreeOperator
+
+__all__ = ["StackedTreeOperator"]
+
+
+class StackedTreeOperator:
+    """All per-tree row blocks of R fused into one flat operator.
+
+    Built from the same :class:`TreeOperator` list the per-tree path
+    uses, and golden-tested bit-identical to it (``tests/
+    test_stacked_operator.py``): identical row order, identical
+    floating-point folds.
+    """
+
+    def __init__(
+        self, operators: Sequence["TreeOperator"], num_nodes: int
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.num_trees = len(operators)
+        n = self.num_nodes
+        for op in operators:
+            if op.tree.num_nodes != n:
+                raise GraphError(
+                    "stacked operator requires trees over the same node "
+                    f"set; got {op.tree.num_nodes} != {n}"
+                )
+        T = self.num_trees
+        if T == 0:
+            self._order = np.zeros(0, dtype=np.int64)
+        else:
+            self._order = np.concatenate([op.order for op in operators])
+
+        # Row bookkeeping (concatenated in tree order, ascending row
+        # node within each tree — the per-tree block order).
+        tin_rows: list[np.ndarray] = []
+        tout_rows: list[np.ndarray] = []
+        scatter_tin: list[np.ndarray] = []
+        scatter_tout: list[np.ndarray] = []
+        pot_rows: list[np.ndarray] = []
+        inv_caps: list[np.ndarray] = []
+        for t, op in enumerate(operators):
+            rows_tin = op.tin[op.row_nodes]
+            rows_tout = op.tout[op.row_nodes]
+            # Row nodes are non-root, so tin >= 1: the exclusive prefix
+            # P[k] equals the inclusive prefix Q[k-1].
+            tin_rows.append(t * n + rows_tin - 1)
+            tout_rows.append(t * n + rows_tout - 1)
+            diff_base = t * (n + 1)
+            scatter_tin.append(diff_base + rows_tin)
+            scatter_tout.append(diff_base + rows_tout)
+            pot_rows.append(t * n + op.tin)
+            inv_caps.append(op.row_inv_capacity)
+        self._tin_rows = _concat_int(tin_rows)
+        self._tout_rows = _concat_int(tout_rows)
+        self._pot_rows = _concat_int(pot_rows)
+        self._row_inv_capacity = (
+            np.concatenate(inv_caps) if inv_caps else np.zeros(0)
+        )
+        self.num_rows = len(self._tin_rows)
+        R = self.num_rows
+
+        # Transpose scatter targets: fixed per operator, one array
+        # (tin adds before tout subtracts — the np.add.at fold order).
+        self._scatter_idx = _concat_int(scatter_tin + scatter_tout)
+        self._diff_size = T * (n + 1)
+
+        # Preallocated scratch planes (reused across calls; every entry
+        # is fully overwritten before it is read).
+        self._prefix = np.empty((T, n))
+        self._prefix_flat = self._prefix.reshape(-1)
+        self._cum = np.empty((T, n))
+        self._cum_flat = self._cum.reshape(-1)
+        self._pots = np.empty((T, n))
+        self._pots_flat = self._pots.reshape(-1)
+        self._row_scratch = np.empty(R)
+        self._row_buf = np.empty(R)
+        self._signed = np.empty(2 * R)
+
+    def apply(self, demand: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """R·b in one pass: gather, row-wise prefix sums, two lookups.
+
+        With ``out=`` (shape ``(num_rows,)``) the call is allocation
+        free; otherwise a fresh array is returned.
+        """
+        demand = np.asarray(demand, dtype=float)
+        if demand.shape != (self.num_nodes,):
+            # Must be checked here: the clip-mode gather below would
+            # silently wrap a short vector into finite garbage.
+            raise GraphError(
+                f"demand has shape {demand.shape}, expected "
+                f"({self.num_nodes},)"
+            )
+        if out is None:
+            out = np.empty(self.num_rows)
+        if self.num_rows == 0:
+            return out
+        # mode="clip" skips take's per-element bounds check; every
+        # index array here is precomputed in-bounds by construction
+        # (and the demand length was validated above).
+        np.take(demand, self._order, out=self._prefix_flat, mode="clip")
+        np.cumsum(self._prefix, axis=1, out=self._prefix)
+        np.take(self._prefix_flat, self._tout_rows, out=out, mode="clip")
+        np.take(
+            self._prefix_flat,
+            self._tin_rows,
+            out=self._row_scratch,
+            mode="clip",
+        )
+        np.subtract(out, self._row_scratch, out=out)
+        np.multiply(out, self._row_inv_capacity, out=out)
+        return out
+
+    def apply_transpose(
+        self, row_values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Rᵀ·g in one pass: planned scatter, row-wise cumsum, gather."""
+        row_values = np.asarray(row_values, dtype=float)
+        if row_values.shape != (self.num_rows,):
+            raise GraphError(
+                f"row values have shape {row_values.shape}, expected "
+                f"({self.num_rows},)"
+            )
+        if out is None:
+            out = np.empty(self.num_nodes)
+        if self.num_rows == 0:
+            out[:] = 0.0
+            return out
+        R = self.num_rows
+        np.multiply(row_values, self._row_inv_capacity, out=self._signed[:R])
+        np.negative(self._signed[:R], out=self._signed[R:])
+        diff = np.bincount(
+            self._scatter_idx, weights=self._signed, minlength=self._diff_size
+        ).reshape(self.num_trees, self.num_nodes + 1)
+        np.cumsum(diff[:, :-1], axis=1, out=self._cum)
+        np.take(
+            self._cum_flat, self._pot_rows, out=self._pots_flat, mode="clip"
+        )
+        out[:] = self._pots[0]
+        for t in range(1, self.num_trees):
+            np.add(out, self._pots[t], out=out)
+        return out
+
+    def estimate(self, demand: np.ndarray) -> float:
+        """‖Rb‖_∞ without allocating (uses the internal row buffer)."""
+        y = self.apply(demand, out=self._row_buf)
+        np.abs(y, out=y)
+        return float(y.max(initial=0.0))
+
+
+def _concat_int(parts: list[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])

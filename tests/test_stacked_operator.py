@@ -1,0 +1,300 @@
+"""Golden equivalence: flat stacked operator vs per-tree blocks.
+
+The contract (ISSUE 3, matching the PR 1 adaptive-path convention) is
+*exact* float equality on the shared evaluation order: the flat fused
+pass of :class:`StackedTreeOperator` must reproduce the per-tree
+``TreeOperator`` loop bit for bit — same row order, same accumulation
+folds — for ``apply``, ``apply_transpose`` and ``estimate``, and hence
+AlmostRoute must return identical results on either path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RouteWorkspace,
+    StackedTreeOperator,
+    TreeCongestionApproximator,
+    accelerated_almost_route,
+    almost_route,
+    build_congestion_approximator,
+    estimate_alpha_st,
+    min_congestion_flow,
+    smax_and_gradient,
+)
+from repro.core.approximator import TreeOperator
+from repro.errors import GraphError
+from repro.graphs.generators import grid, random_connected
+from repro.graphs.graph import Graph
+from repro.graphs.trees import RootedTree
+from repro.util.validation import st_demand
+
+
+def _modes(approx, fn):
+    approx.operator_mode = "per_tree"
+    per_tree = fn()
+    approx.operator_mode = "flat"
+    flat = fn()
+    approx.operator_mode = "adaptive"
+    return per_tree, flat
+
+
+@pytest.fixture(scope="module")
+def medium():
+    g = random_connected(80, 0.08, rng=301)
+    return g, build_congestion_approximator(g, rng=302)
+
+
+class TestGoldenEquivalence:
+    def test_apply_random_demands(self, medium):
+        g, approx = medium
+        rng = np.random.default_rng(303)
+        for _ in range(10):
+            b = rng.normal(size=g.num_nodes)
+            b -= b.mean()
+            per_tree, flat = _modes(approx, lambda: approx.apply(b))
+            assert np.array_equal(per_tree, flat)
+
+    def test_apply_transpose_random_rows(self, medium):
+        g, approx = medium
+        rng = np.random.default_rng(304)
+        for _ in range(10):
+            y = rng.normal(size=approx.num_rows)
+            per_tree, flat = _modes(approx, lambda: approx.apply_transpose(y))
+            assert np.array_equal(per_tree, flat)
+
+    def test_estimate_identical(self, medium):
+        g, approx = medium
+        rng = np.random.default_rng(305)
+        for _ in range(5):
+            b = rng.normal(size=g.num_nodes)
+            b -= b.mean()
+            per_tree, flat = _modes(approx, lambda: approx.estimate(b))
+            assert per_tree == flat
+
+    def test_zero_demand(self, medium):
+        g, approx = medium
+        zero = np.zeros(g.num_nodes)
+        per_tree, flat = _modes(approx, lambda: approx.apply(zero))
+        assert np.array_equal(per_tree, flat)
+        assert not flat.any()
+        per_tree, flat = _modes(approx, lambda: approx.estimate(zero))
+        assert per_tree == flat == 0.0
+
+    def test_grid_graph_stack(self):
+        g = grid(9, 9, rng=306)
+        approx = build_congestion_approximator(g, rng=307, method="mwu")
+        rng = np.random.default_rng(308)
+        b = rng.normal(size=g.num_nodes)
+        b -= b.mean()
+        y = rng.normal(size=approx.num_rows)
+        assert np.array_equal(*_modes(approx, lambda: approx.apply(b)))
+        assert np.array_equal(
+            *_modes(approx, lambda: approx.apply_transpose(y))
+        )
+
+    def test_single_node_trees(self):
+        """Trees with no rows at all: empty products, zero potentials."""
+        g = Graph(1)
+        trees = [RootedTree([-1], capacity=[0.0]) for _ in range(3)]
+        approx = TreeCongestionApproximator(
+            graph=g,
+            operators=[TreeOperator(t) for t in trees],
+            alpha=1.0,
+        )
+        assert approx.num_rows == 0
+        for mode in ("per_tree", "flat"):
+            approx.operator_mode = mode
+            assert approx.apply(np.zeros(1)).shape == (0,)
+            out = approx.apply_transpose(np.zeros(0))
+            assert np.array_equal(out, np.zeros(1))
+            assert approx.estimate(np.zeros(1)) == 0.0
+
+    def test_multi_tree_stack_row_order(self, medium):
+        """The flat row order is the per-tree concatenation order."""
+        g, approx = medium
+        b = st_demand(g, 0, g.num_nodes - 1)
+        blocks = [op.apply(b) for op in approx.operators]
+        flat = approx.stacked().apply(b)
+        assert np.array_equal(np.concatenate(blocks), flat)
+
+    def test_mismatched_tree_rejected(self, medium):
+        g, approx = medium
+        alien = TreeOperator(RootedTree([-1, 0], capacity=[0.0, 1.0]))
+        with pytest.raises(GraphError):
+            StackedTreeOperator(approx.operators + [alien], g.num_nodes)
+
+    def test_unknown_mode_rejected(self, medium):
+        _, approx = medium
+        approx.operator_mode = "magic"
+        try:
+            with pytest.raises(GraphError):
+                approx.apply(np.zeros(approx.graph.num_nodes))
+        finally:
+            approx.operator_mode = "adaptive"
+
+    def test_adaptive_dispatch_follows_tiny(self, medium):
+        g, approx = medium
+        assert not g.is_tiny()
+        assert approx._use_flat()
+        tiny = random_connected(8, 0.5, rng=309)
+        tiny_approx = build_congestion_approximator(
+            tiny, num_trees=2, rng=310
+        )
+        assert tiny.is_tiny()
+        assert not tiny_approx._use_flat()
+
+
+class TestOutBuffers:
+    def test_apply_out_buffer(self, medium):
+        g, approx = medium
+        b = st_demand(g, 1, 5)
+        expected = approx.apply(b)
+        out = np.empty(approx.num_rows)
+        result = approx.apply(b, out=out)
+        assert result is out
+        assert np.array_equal(result, expected)
+
+    def test_apply_transpose_out_buffer(self, medium):
+        g, approx = medium
+        rng = np.random.default_rng(311)
+        y = rng.normal(size=approx.num_rows)
+        expected = approx.apply_transpose(y)
+        out = np.empty(g.num_nodes)
+        result = approx.apply_transpose(y, out=out)
+        assert result is out
+        assert np.array_equal(result, expected)
+
+    def test_repeated_calls_reuse_scratch(self, medium):
+        """Scratch reuse must not leak state between calls."""
+        g, approx = medium
+        stacked = approx.stacked()
+        rng = np.random.default_rng(312)
+        b1 = rng.normal(size=g.num_nodes)
+        b1 -= b1.mean()
+        first = stacked.apply(b1).copy()
+        b2 = rng.normal(size=g.num_nodes)
+        b2 -= b2.mean()
+        stacked.apply(b2)
+        assert np.array_equal(stacked.apply(b1), first)
+
+    def test_apply_rejects_short_demand(self, medium):
+        """The clip-mode gather must not silently wrap a short vector."""
+        g, approx = medium
+        short = np.zeros(g.num_nodes - 5)
+        with pytest.raises(GraphError):
+            approx.stacked().apply(short)
+        with pytest.raises(GraphError):
+            approx.stacked().apply_transpose(np.zeros(approx.num_rows - 3))
+
+    def test_smax_rejects_aliased_buffers(self):
+        y = np.linspace(-2.0, 2.0, 16)
+        with pytest.raises(ValueError):
+            smax_and_gradient(y, out=y)
+        with pytest.raises(ValueError):
+            smax_and_gradient(y, scratch=y[::2])
+
+    def test_smax_and_gradient_buffered_identical(self):
+        rng = np.random.default_rng(313)
+        y = rng.normal(size=257) * 30.0
+        value, gradient = smax_and_gradient(y)
+        out = np.empty_like(y)
+        scratch = np.empty_like(y)
+        value_buf, gradient_buf = smax_and_gradient(y, out=out, scratch=scratch)
+        assert value == value_buf
+        assert gradient_buf is out
+        assert np.array_equal(gradient, gradient_buf)
+
+    def test_excess_matches_legacy_scatter(self, medium):
+        g, _ = medium
+        rng = np.random.default_rng(314)
+        flow = rng.normal(size=g.num_edges)
+        tails, heads = g.edge_index_arrays()
+        reference = np.zeros(g.num_nodes)
+        np.add.at(reference, heads, flow)
+        np.subtract.at(reference, tails, flow)
+        assert np.array_equal(reference, g.excess(flow))
+        out = np.empty(g.num_nodes)
+        assert np.array_equal(reference, g.excess(flow, out=out))
+
+
+class TestEndToEndIdentity:
+    def test_almost_route_identical_paths(self, medium):
+        g, approx = medium
+        demand = st_demand(g, 0, g.num_nodes - 1)
+        per_tree, flat = _modes(
+            approx, lambda: almost_route(g, approx, demand, 0.4)
+        )
+        assert per_tree.iterations == flat.iterations
+        assert per_tree.scalings == flat.scalings
+        assert per_tree.potential == flat.potential
+        assert per_tree.delta == flat.delta
+        assert np.array_equal(per_tree.flow, flat.flow)
+        assert np.array_equal(per_tree.residual, flat.residual)
+
+    def test_accelerated_identical_paths(self, medium):
+        g, approx = medium
+        demand = st_demand(g, 2, 11)
+        per_tree, flat = _modes(
+            approx, lambda: accelerated_almost_route(g, approx, demand, 0.4)
+        )
+        assert per_tree.iterations == flat.iterations
+        assert np.array_equal(per_tree.flow, flat.flow)
+
+    def test_workspace_reuse_is_pure(self, medium):
+        """One workspace across calls == fresh workspaces per call."""
+        g, approx = medium
+        ws = RouteWorkspace(g, approx)
+        d1 = st_demand(g, 0, 9)
+        d2 = st_demand(g, 3, 40)
+        shared = [
+            almost_route(g, approx, d, 0.4, workspace=ws) for d in (d1, d2)
+        ]
+        fresh = [almost_route(g, approx, d, 0.4) for d in (d1, d2)]
+        for a, b in zip(shared, fresh):
+            assert np.array_equal(a.flow, b.flow)
+            assert a.iterations == b.iterations
+
+    def test_workspace_mismatch_rebuilt(self, medium):
+        g, approx = medium
+        other = random_connected(12, 0.4, rng=315)
+        other_approx = build_congestion_approximator(
+            other, num_trees=2, rng=316
+        )
+        stale = RouteWorkspace(other, other_approx)
+        rebuilt = RouteWorkspace.ensure(stale, g, approx)
+        assert rebuilt is not stale
+        assert rebuilt.shape_key == (g.num_edges, g.num_nodes, approx.num_rows)
+        assert RouteWorkspace.ensure(rebuilt, g, approx) is rebuilt
+
+    def test_min_congestion_flow_workspace_param(self, medium):
+        g, approx = medium
+        demand = st_demand(g, 0, 7)
+        ws = RouteWorkspace(g, approx)
+        with_ws = min_congestion_flow(
+            g, demand, epsilon=0.4, approximator=approx, workspace=ws
+        )
+        without = min_congestion_flow(
+            g, demand, epsilon=0.4, approximator=approx
+        )
+        assert np.array_equal(with_ws.flow, without.flow)
+
+
+class TestAlphaEstimateGuard:
+    def test_zero_maxflow_pair_skipped(self, medium, monkeypatch):
+        """A degenerate s-t pair (zero max flow) must be skipped, not
+        crash with ZeroDivisionError."""
+        g, approx = medium
+
+        class _Zero:
+            value = 0.0
+
+        import repro.flow.dinic as dinic_module
+
+        monkeypatch.setattr(
+            dinic_module, "dinic_max_flow", lambda *a, **k: _Zero()
+        )
+        alpha = estimate_alpha_st(g, approx, rng=317, trials=3)
+        assert alpha == 2.0  # nothing learned: worst=1 times safety

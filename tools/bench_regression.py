@@ -2,9 +2,12 @@
 """Benchmark-regression gate for CI.
 
 Re-measures the ``approximator_build_n{256,1024,4096}`` rows (median
-wall-clock of ``build_congestion_approximator``, same configuration the
-benchmark harness records) and fails — exit code 1 — if any median
-regresses more than ``--factor`` (default 2×) versus the checked-in
+wall-clock of ``build_congestion_approximator``) and the apply-path
+rows ``approximator_apply_n*`` / ``approximator_apply_transpose_n*`` /
+``almost_route_n*`` (median wall-clock of the flat stacked operator
+products and one AlmostRoute solve, same configuration the benchmark
+harness records) and fails — exit code 1 — if any median regresses
+more than ``--factor`` (default 2×) versus the checked-in
 ``BENCH_graphcore.json`` baseline.
 
 Run from the repository root with ``src`` importable::
@@ -55,6 +58,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())["metrics"]
     bench = _load_bench_module()
     measured = bench.measure_approximator_benchmarks()
+    measured.update(bench.measure_apply_benchmarks())
 
     failures = []
     for name, current_s in measured.items():
