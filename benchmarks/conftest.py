@@ -109,6 +109,20 @@ APPLY_BENCH_CONFIG = {
     256: (0.05, 940, 941, 77, 200, 7),
     1024: (0.012, 940, 941, 77, 100, 5),
 }
+
+#: nodes -> (edge probability, generator seed, build rng seed, data
+#: seed, operator reps, bfs reps) for the PR 4 sharded-execution rows:
+#: flat-serial vs sharded medians of R·b / Rᵀ·g and frontier BFS at the
+#: scale where sharding is on by default (n + 2m >> SMALL_GRAPH_LIMIT).
+SHARDED_BENCH_CONFIG = {4096: (0.003, 940, 941, 77, 60, 20)}
+#: The sharded rows run the documented env default (REPRO_WORKERS=2 →
+#: thread pool), forced past the adaptive threshold. On a single-core
+#: runner the thread pool serializes and the rows show the scheduling
+#: overhead (speedup <= 1); on multi-core CI they show the win. The
+#: regression gate compares like against like (sharded vs recorded
+#: sharded), so the rows guard the sharded path's own trend either way.
+SHARDED_BENCH_WORKERS = 2
+SHARDED_BENCH_BACKEND = "thread"
 #: AlmostRoute solve parameters for the almost_route_n* rows (a fixed
 #: iteration budget keeps the timed workload deterministic).
 APPLY_BENCH_ROUTE_EPSILON = 0.5
@@ -149,10 +163,20 @@ def measure_approximator_benchmarks() -> dict[str, float]:
 
 def apply_bench_instance(n: int):
     """The (graph, approximator, demand, row_values) tuple every
-    apply-path benchmark row is measured on."""
+    apply-path benchmark row is measured on.
+
+    The approximator is pinned to serial execution: these rows measure
+    the flat-vs-per-tree fusion, so a ``REPRO_WORKERS`` environment
+    (e.g. the sharded CI tier-1 job) must not silently reroute the
+    "flat" column onto a worker pool.
+    """
+    from repro.parallel import ParallelConfig
+
     p, gseed, rseed, dseed, _, _ = APPLY_BENCH_CONFIG[n]
     g = random_connected(n, p, rng=gseed)
-    approx = build_congestion_approximator(g, rng=rseed, alpha=1.0)
+    approx = build_congestion_approximator(
+        g, rng=rseed, alpha=1.0, parallel=ParallelConfig()
+    )
     rng = np.random.default_rng(dseed)
     demand = rng.normal(size=n)
     demand -= demand.mean()
@@ -186,6 +210,74 @@ def measure_apply_benchmarks() -> dict[str, float]:
             ),
             route_reps,
         )
+    return out
+
+
+def measure_execution_backend_benchmarks() -> dict[str, dict[str, float]]:
+    """Serial vs sharded medians for the execution-backend rows.
+
+    Returns ``name -> {"serial_s": ..., "sharded_s": ...}`` where the
+    sharded medians run ``SHARDED_BENCH_WORKERS`` workers on the
+    ``SHARDED_BENCH_BACKEND`` pool (also invoked by
+    tools/bench_regression.py for the CI gate). Sharded results are
+    bit-identical to serial by contract, so the rows measure pure
+    scheduling, never accuracy.
+    """
+    from repro.graphs import kernels
+    from repro.parallel import ParallelConfig
+
+    out: dict[str, dict[str, float]] = {}
+    for n, (p, gseed, rseed, dseed, op_reps, bfs_reps) in (
+        SHARDED_BENCH_CONFIG.items()
+    ):
+        config = ParallelConfig(
+            workers=SHARDED_BENCH_WORKERS,
+            backend=SHARDED_BENCH_BACKEND,
+            min_size=0,
+        )
+        serial = ParallelConfig()  # pin: immune to REPRO_WORKERS
+        g = random_connected(n, p, rng=gseed)
+        approx = build_congestion_approximator(g, rng=rseed, alpha=1.0)
+        stacked = approx.stacked()
+        rng = np.random.default_rng(dseed)
+        demand = rng.normal(size=n)
+        demand -= demand.mean()
+        row_values = rng.normal(size=approx.num_rows)
+        row_out = np.empty(approx.num_rows)
+        node_out = np.empty(n)
+        csr = g.csr()
+        out[f"approximator_apply_sharded_n{n}"] = {
+            "serial_s": _median_time(
+                lambda: stacked.apply(demand, out=row_out, parallel=serial),
+                op_reps,
+            ),
+            "sharded_s": _median_time(
+                lambda: stacked.apply(demand, out=row_out, parallel=config),
+                op_reps,
+            ),
+        }
+        out[f"approximator_apply_transpose_sharded_n{n}"] = {
+            "serial_s": _median_time(
+                lambda: stacked.apply_transpose(
+                    row_values, out=node_out, parallel=serial
+                ),
+                op_reps,
+            ),
+            "sharded_s": _median_time(
+                lambda: stacked.apply_transpose(
+                    row_values, out=node_out, parallel=config
+                ),
+                op_reps,
+            ),
+        }
+        out[f"bfs_levels_sharded_n{n}"] = {
+            "serial_s": _median_time(
+                lambda: kernels.bfs_levels(csr, 0, parallel=serial), bfs_reps
+            ),
+            "sharded_s": _median_time(
+                lambda: kernels.bfs_levels(csr, 0, parallel=config), bfs_reps
+            ),
+        }
     return out
 
 
@@ -262,6 +354,10 @@ def pytest_sessionfinish(session, exitstatus):
         apply_rows = measure_apply_benchmarks()
     except Exception:
         apply_rows = {}
+    try:
+        backend_rows = measure_execution_backend_benchmarks()
+    except Exception:
+        backend_rows = {}
     metrics = {
         name: {
             "before_s": SEED_BASELINES[name],
@@ -282,6 +378,14 @@ def pytest_sessionfinish(session, exitstatus):
             "after_s": measured,
             "speedup": round(PR2_BASELINES[name] / measured, 2),
         }
+    for name, pair in backend_rows.items():
+        # before = serial median, after = sharded median, both from
+        # this session: the row is the live serial-vs-sharded ratio.
+        metrics[name] = {
+            "before_s": pair["serial_s"],
+            "after_s": pair["sharded_s"],
+            "speedup": round(pair["serial_s"] / pair["sharded_s"], 2),
+        }
     report = {
         "description": (
             "Graph-substrate hot-path timings (seconds). bfs/contract/"
@@ -293,7 +397,13 @@ def pytest_sessionfinish(session, exitstatus):
             "approximator_apply*/almost_route rows: median-of-N, PR 2 "
             "(per-tree operator loop with np.add.at, allocating "
             "AlmostRoute inner loop) vs current (flat stacked operator "
-            "+ workspace-buffered AlmostRoute)."
+            "+ workspace-buffered AlmostRoute). *_sharded_n4096 rows: "
+            "median-of-N serial vs sharded (REPRO_WORKERS=2, thread "
+            "pool) execution of the same kernel, measured in one "
+            "session — bit-identical outputs by contract, so the ratio "
+            "is pure scheduling (>= 1 on multi-core hosts, <= 1 where "
+            "one core serializes the pool; the CI gate tracks the "
+            "sharded column against itself, not against serial)."
         ),
         "metrics": metrics,
     }

@@ -26,6 +26,14 @@ Substrates (each independently usable)::
     from repro.jtree import sample_virtual_tree       # Theorem 8.10
     from repro.congest import CongestNetwork          # the model itself
 
+Sharded execution (multi-worker kernels, bit-identical to serial)::
+
+    from repro.parallel import ParallelConfig
+    result = max_flow(graph, s, t, parallel=ParallelConfig(4, "thread"))
+
+or set ``REPRO_WORKERS=4`` (and optionally ``REPRO_BACKEND``) in the
+environment to shard every beyond-threshold kernel process-wide.
+
 See README.md for a guided tour and DESIGN.md for the paper-to-module
 mapping.
 """
@@ -44,6 +52,7 @@ from repro.core import (
 from repro.congest import CongestNetwork, CostModel, distributed_push_relabel
 from repro.jtree import HierarchyParams, sample_virtual_tree
 from repro.lsst import akpw_spanning_tree
+from repro.parallel import ParallelConfig, ShardPlan
 from repro.sparsify import sparsify
 from repro.errors import ReproError
 
@@ -64,6 +73,8 @@ __all__ = [
     "HierarchyParams",
     "sample_virtual_tree",
     "akpw_spanning_tree",
+    "ParallelConfig",
+    "ShardPlan",
     "sparsify",
     "ReproError",
 ]

@@ -43,6 +43,7 @@ from repro.core.approximator import TreeCongestionApproximator
 from repro.core.softmax import smax_and_gradient
 from repro.errors import ConvergenceError
 from repro.graphs.graph import Graph
+from repro.parallel.config import ParallelConfig
 from repro.util.validation import check_demand
 
 __all__ = ["AlmostRouteResult", "RouteWorkspace", "almost_route"]
@@ -78,7 +79,6 @@ class RouteWorkspace:
         self.lookahead = np.empty(m)
         self.c1 = np.empty(m)
         self.g1 = np.empty(m)
-        self.m_scratch = np.empty(m)
         self.grad = np.empty(m)
         self.step = np.empty(m)
         # n-shaped
@@ -88,7 +88,11 @@ class RouteWorkspace:
         # row-shaped
         self.y = np.empty(rows)
         self.g2 = np.empty(rows)
-        self.r_scratch = np.empty(rows)
+        # Soft-max pair scratches (2×-shaped): both exponential halves
+        # of smax_and_gradient live in one contiguous buffer so a
+        # single np.exp evaluates them (see repro.core.softmax).
+        self.m_scratch = np.empty(2 * m)
+        self.r_scratch = np.empty(2 * rows)
 
     @classmethod
     def ensure(
@@ -209,6 +213,7 @@ def almost_route(
     max_iterations: int | None = None,
     raise_on_budget: bool = False,
     workspace: RouteWorkspace | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> AlmostRouteResult:
     """Run Algorithm 2.
 
@@ -225,11 +230,16 @@ def almost_route(
         workspace: Optional preallocated :class:`RouteWorkspace` to
             reuse across calls on the same (graph, approximator) pair;
             built internally when omitted or mis-sized.
+        parallel: Optional sharded-execution config for the R products
+            (overrides the approximator's own; results are
+            bit-identical either way).
 
     Returns:
         An :class:`AlmostRouteResult`. ``flow`` is *not* necessarily
         feasible (soft capacity constraint); Algorithm 1 rescales.
     """
+    if parallel is not None:
+        approximator = approximator.with_parallel(parallel)
     demand = check_demand(graph, demand)
     n = graph.num_nodes
     m = graph.num_edges

@@ -36,6 +36,7 @@ from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
 from repro.core.stacked import StackedTreeOperator
+from repro.parallel.config import ParallelConfig
 from repro.jtree.hierarchy import HierarchyParams, sample_virtual_trees
 from repro.jtree.madry import madry_jtree_step
 from repro.lsst.akpw import akpw_spanning_tree
@@ -126,6 +127,10 @@ class TreeCongestionApproximator:
             substrate's small-instance convention), ``"flat"`` or
             ``"per_tree"`` (forced; the two are golden-tested
             bit-identical, so forcing is for tests/benchmarks only).
+        parallel: Optional sharded-execution config for the flat
+            operator's products (``None`` defers to the
+            ``REPRO_WORKERS`` process default). Never changes results —
+            the sharded products are bit-identical to serial.
     """
 
     graph: Graph
@@ -133,9 +138,34 @@ class TreeCongestionApproximator:
     alpha: float
     method: str = "hierarchy"
     operator_mode: str = "adaptive"
+    parallel: ParallelConfig | None = None
     _stacked: StackedTreeOperator | None = field(
         default=None, repr=False, compare=False
     )
+
+    def with_parallel(
+        self, parallel: ParallelConfig | None
+    ) -> "TreeCongestionApproximator":
+        """A shallow twin running its products under ``parallel``.
+
+        Shares the operators and the cached stacked operator (both are
+        immutable after construction), so the twin costs nothing to
+        make — callers like ``almost_route`` use it to honor a per-call
+        config without mutating a shared approximator.
+        """
+        twin = TreeCongestionApproximator(
+            graph=self.graph,
+            operators=self.operators,
+            alpha=self.alpha,
+            method=self.method,
+            operator_mode=self.operator_mode,
+            parallel=parallel,
+        )
+        # Build the stacked operator on the original (cached there for
+        # every future twin) before sharing, so per-call wrapping never
+        # pays the fuse twice.
+        twin._stacked = self.stacked() if self._use_flat() else self._stacked
+        return twin
 
     @property
     def num_trees(self) -> int:
@@ -175,7 +205,7 @@ class TreeCongestionApproximator:
         """
         demand = np.asarray(demand, dtype=float)
         if self._use_flat():
-            return self.stacked().apply(demand, out=out)
+            return self.stacked().apply(demand, out=out, parallel=self.parallel)
         blocks = [op.apply(demand) for op in self.operators]
         result = np.concatenate(blocks) if blocks else np.zeros(0)
         if out is None:
@@ -189,7 +219,9 @@ class TreeCongestionApproximator:
         """Compute Rᵀ·g as node potentials."""
         row_values = np.asarray(row_values, dtype=float)
         if self._use_flat():
-            return self.stacked().apply_transpose(row_values, out=out)
+            return self.stacked().apply_transpose(
+                row_values, out=out, parallel=self.parallel
+            )
         if out is None:
             out = np.zeros(self.graph.num_nodes)
         else:
@@ -204,7 +236,9 @@ class TreeCongestionApproximator:
     def estimate(self, demand: np.ndarray) -> float:
         """‖Rb‖_∞ — the lower-bound congestion estimate for ``demand``."""
         if self._use_flat():
-            return self.stacked().estimate(np.asarray(demand, dtype=float))
+            return self.stacked().estimate(
+                np.asarray(demand, dtype=float), parallel=self.parallel
+            )
         return float(np.abs(self.apply(demand)).max(initial=0.0))
 
     def trees(self) -> list[RootedTree]:
@@ -300,6 +334,7 @@ def build_congestion_approximator(
     method: Literal["hierarchy", "mwu", "bfs"] = "hierarchy",
     alpha: float | None = None,
     hierarchy_params: HierarchyParams | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> TreeCongestionApproximator:
     """Build the congestion approximator R (Theorem 8.10 + Lemma 3.3).
 
@@ -315,6 +350,11 @@ def build_congestion_approximator(
         alpha: Override for the α the descent uses; estimated from
             random s-t demands when omitted.
         hierarchy_params: Tunables for the "hierarchy" method.
+        parallel: Optional sharded-execution config stored on the
+            approximator: its R / Rᵀ products then run sharded on the
+            configured pool (bit-identical to serial). Construction-
+            time kernels (BFS, contraction, CSR builds) follow the
+            ``REPRO_WORKERS`` process default independently.
 
     Returns:
         A :class:`TreeCongestionApproximator`.
@@ -351,6 +391,7 @@ def build_congestion_approximator(
         operators=[TreeOperator(t) for t in trees],
         alpha=1.0,
         method=method,
+        parallel=parallel,
     )
     if alpha is None:
         approximator.alpha = estimate_alpha_st(graph, approximator, rng=rng)

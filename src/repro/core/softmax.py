@@ -11,10 +11,18 @@ Everything is computed in log-space with max-subtraction so the
 (deliberately large, Θ(ε⁻¹ log n)) arguments never overflow.
 
 :func:`smax_and_gradient` is the per-iteration form: with ``out=`` and
-``scratch=`` buffers (both shaped like ``y``) it performs no
-allocation, which the AlmostRoute workspace relies on. The buffered and
-unbuffered paths execute the identical operation sequence, so results
-are bit-identical.
+``scratch=`` buffers it performs no allocation, which the AlmostRoute
+workspace relies on. The preferred scratch is one **contiguous pair
+buffer** of shape ``(2k,)``: both exponential families ``e^{y−m}`` and
+``e^{−y−m}`` are then evaluated by a *single* ``np.exp`` ufunc call
+over the stacked buffer (the two-call form paid a second dispatch +
+loop startup for the same element count — measurably so, since the
+soft-max is ~a quarter of every AlmostRoute gradient step; see
+``benchmarks/test_bench_gradient.py``). A legacy ``(k,)``-shaped
+scratch still selects the split two-call path. All paths — fused,
+split, unbuffered — execute the identical per-element operations and
+the identical two-half summation fold, so results are bit-identical
+(golden-tested in ``tests/test_softmax.py``).
 """
 
 from __future__ import annotations
@@ -57,10 +65,14 @@ def smax_and_gradient(
     """Return ``(smax(y), grad smax(y))`` sharing one pass.
 
     Args:
-        y: Argument vector.
+        y: Argument vector of length ``k``.
         out: Optional buffer (shape of ``y``) receiving the gradient.
-        scratch: Optional same-shaped work buffer; with both buffers
-            the call allocates nothing.
+        scratch: Optional work buffer. Shape ``(2k,)`` selects the
+            fused path — both exponential halves live in the one
+            buffer and a single ``np.exp`` call evaluates them; shape
+            ``(k,)`` selects the legacy split path. With ``out`` and a
+            pair scratch the call allocates nothing. All paths are
+            bit-identical.
     """
     y = np.asarray(y, dtype=float)
     if y.size == 0:
@@ -72,16 +84,34 @@ def smax_and_gradient(
         # silently corrupt both the value and the gradient.
         if buf is not None and np.may_share_memory(buf, y):
             raise ValueError(f"{name} buffer must not alias y")
+    k = y.size
     m = float(np.abs(y).max())
-    pos = out if out is not None else np.empty_like(y)
-    neg = scratch if scratch is not None else np.empty_like(y)
+    if scratch is not None and scratch.shape == (k,):
+        # Legacy split path: two buffers, two exp calls. Identical
+        # per-element operations and summation fold as the fused path.
+        pos = out if out is not None else np.empty_like(y)
+        neg = scratch
+        np.subtract(y, m, out=pos)
+        np.exp(pos, out=pos)
+        np.negative(y, out=neg)
+        np.subtract(neg, m, out=neg)
+        np.exp(neg, out=neg)
+        total = pos.sum() + neg.sum()
+        value = m + float(np.log(total))
+        np.subtract(pos, neg, out=pos)
+        np.true_divide(pos, total, out=pos)
+        return value, pos
+    pair = scratch if scratch is not None else np.empty(2 * k)
+    pos = pair[:k]
+    neg = pair[k:]
     np.subtract(y, m, out=pos)
-    np.exp(pos, out=pos)
     np.negative(y, out=neg)
     np.subtract(neg, m, out=neg)
-    np.exp(neg, out=neg)
+    # One ufunc dispatch for both exponential families.
+    np.exp(pair, out=pair)
     total = pos.sum() + neg.sum()
     value = m + float(np.log(total))
-    np.subtract(pos, neg, out=pos)
-    np.true_divide(pos, total, out=pos)
-    return value, pos
+    grad = out if out is not None else np.empty_like(y)
+    np.subtract(pos, neg, out=grad)
+    np.true_divide(grad, total, out=grad)
+    return value, grad

@@ -14,6 +14,23 @@ ball growing, BFS tree construction, component-order-dependent
 generators) derive randomness-adjacent choices from traversal order:
 a kernel that visited nodes in a different but equally valid order
 would silently change every seeded experiment downstream.
+
+Sharded execution
+=================
+
+The frontier BFS kernels additionally run **sharded** when a
+:class:`~repro.parallel.config.ParallelConfig` says so (explicit
+``parallel=`` argument, or the process-wide ``REPRO_WORKERS`` default)
+and the instance is beyond the adaptive ``min_size`` threshold: each
+BFS level's ragged gather is split over contiguous frontier ranges
+(balanced by degree mass, :meth:`~repro.parallel.plan.ShardPlan.
+for_frontier`) and executed on the configured worker pool. Because the
+shard outputs are concatenated back in frontier order, the gathered
+``(origin, neighbor, edge_id)`` sequences — and therefore every
+claim-order tie-break downstream — are *bit-identical* to the serial
+pass; the frontier/visited state is updated only by the coordinating
+thread between levels. The same contract is swept across a seed ×
+generator × shard-count matrix in ``tests/test_parallel_backend.py``.
 """
 
 from __future__ import annotations
@@ -21,6 +38,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, build_csr
+from repro.parallel.config import ParallelConfig, resolve_config
+from repro.parallel.plan import ShardPlan
+from repro.parallel.pool import get_pool
 
 __all__ = [
     "ragged_rows",
@@ -38,6 +58,27 @@ __all__ = [
 ]
 
 
+def _ragged_arrays(
+    indptr: np.ndarray,
+    neighbor: np.ndarray,
+    edge_id: np.ndarray,
+    nodes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`ragged_rows` over raw CSR arrays (the picklable form the
+    shard workers receive)."""
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    # Positions: for each row, starts[r] .. starts[r] + counts[r] - 1.
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    idx = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    origin = np.repeat(nodes, counts)
+    return origin, neighbor[idx], edge_id[idx]
+
+
 def ragged_rows(
     csr: CSRAdjacency, nodes: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -48,23 +89,68 @@ def ragged_rows(
         whose row produced position ``i``; rows appear in the order of
         ``nodes`` and, within a row, in edge-insertion order.
     """
-    starts = csr.indptr[nodes]
-    counts = csr.indptr[nodes + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy(), empty.copy()
-    # Positions: for each row, starts[r] .. starts[r] + counts[r] - 1.
-    offsets = np.repeat(np.cumsum(counts) - counts, counts)
-    idx = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
-    origin = np.repeat(nodes, counts)
-    return origin, csr.neighbor[idx], csr.edge_id[idx]
+    return _ragged_arrays(csr.indptr, csr.neighbor, csr.edge_id, nodes)
+
+
+def _bfs_level_shard(
+    indptr: np.ndarray,
+    neighbor: np.ndarray,
+    edge_id: np.ndarray,
+    frontier: np.ndarray,
+    dist: np.ndarray,
+    allowed_edges: np.ndarray | None,
+) -> np.ndarray:
+    """One shard of a BFS level: gather + mask + unvisited filter.
+
+    ``dist`` is only read; the coordinating thread owns all updates.
+    """
+    _, nbrs, eids = _ragged_arrays(indptr, neighbor, edge_id, frontier)
+    if allowed_edges is not None:
+        nbrs = nbrs[allowed_edges[eids]]
+    return nbrs[dist[nbrs] < 0]
+
+
+def _bfs_claim_shard(
+    indptr: np.ndarray,
+    neighbor: np.ndarray,
+    edge_id: np.ndarray,
+    frontier: np.ndarray,
+    dist: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One shard of a parent-BFS level: gather + unvisited filter,
+    keeping ``(origin, neighbor, edge_id)`` aligned for claim order."""
+    origin, nbrs, eids = _ragged_arrays(indptr, neighbor, edge_id, frontier)
+    keep = dist[nbrs] < 0
+    return origin[keep], nbrs[keep], eids[keep]
+
+
+def _sharded_level_gather(
+    csr: CSRAdjacency,
+    frontier: np.ndarray,
+    config: ParallelConfig,
+    worker,
+    extra: tuple,
+) -> list:
+    """Run one level's gather over contiguous frontier shards.
+
+    Results come back in shard (= frontier) order, so concatenating
+    them reproduces the serial gather sequence exactly.
+    """
+    plan = ShardPlan.for_frontier(csr.indptr, frontier, config.workers)
+    if plan.num_shards <= 1:
+        return [worker(csr.indptr, csr.neighbor, csr.edge_id, frontier, *extra)]
+    tasks = [
+        (csr.indptr, csr.neighbor, csr.edge_id, frontier[lo:hi], *extra)
+        for lo, hi in plan.ranges()
+    ]
+    return get_pool(config).map(worker, tasks)
 
 
 def bfs_levels(
     csr: CSRAdjacency,
     sources: int | np.ndarray,
     allowed_edges: np.ndarray | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> np.ndarray:
     """Multi-source hop distances by frontier-at-a-time BFS.
 
@@ -73,20 +159,35 @@ def bfs_levels(
         sources: One source or an array of sources (all at distance 0).
         allowed_edges: Optional boolean mask over edge ids; masked-out
             edges are not traversed.
+        parallel: Optional sharded-execution config (``None`` resolves
+            to the ``REPRO_WORKERS`` process default). Sharding splits
+            each level's gather over frontier ranges; the result is
+            bit-identical to the serial pass.
 
     Returns:
         ``(n,)`` int64 distances, ``-1`` for unreachable nodes.
     """
+    config = resolve_config(parallel)
+    sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
     dist = np.full(csr.num_nodes, -1, dtype=np.int64)
     frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     dist[frontier] = 0
     level = 0
     while frontier.size:
-        _, nbrs, eids = ragged_rows(csr, frontier)
-        if allowed_edges is not None:
-            keep = allowed_edges[eids]
-            nbrs = nbrs[keep]
-        nbrs = nbrs[dist[nbrs] < 0]
+        if sharded:
+            parts = _sharded_level_gather(
+                csr, frontier, config, _bfs_level_shard, (dist, allowed_edges)
+            )
+            nbrs = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        else:
+            nbrs = _bfs_level_shard(
+                csr.indptr,
+                csr.neighbor,
+                csr.edge_id,
+                frontier,
+                dist,
+                allowed_edges,
+            )
         if nbrs.size == 0:
             break
         frontier = np.unique(nbrs)
@@ -96,20 +197,24 @@ def bfs_levels(
 
 
 def bfs_parents(
-    csr: CSRAdjacency, root: int
+    csr: CSRAdjacency, root: int, parallel: ParallelConfig | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Deterministic BFS tree from ``root``.
 
     Reproduces the legacy FIFO-queue BFS exactly: a node is claimed by
     the earliest-discovered frontier node adjacent to it, ties broken
     by adjacency (edge-insertion) order, and the next frontier keeps
-    claim order.
+    claim order. The sharded path (``parallel``) splits each level's
+    gather over frontier ranges and concatenates in frontier order, so
+    claim order — and therefore the returned tree — is unchanged.
 
     Returns:
         ``(dist, parent, parent_edge)`` int64 arrays; unreachable nodes
         have ``dist = -1``, ``parent = -2``, ``parent_edge = -1``; the
         root has ``parent = -1``, ``parent_edge = -1``.
     """
+    config = resolve_config(parallel)
+    sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
     n = csr.num_nodes
     dist = np.full(n, -1, dtype=np.int64)
     parent = np.full(n, -2, dtype=np.int64)
@@ -119,9 +224,20 @@ def bfs_parents(
     frontier = np.array([root], dtype=np.int64)
     level = 0
     while frontier.size:
-        origin, nbrs, eids = ragged_rows(csr, frontier)
-        keep = dist[nbrs] < 0
-        origin, nbrs, eids = origin[keep], nbrs[keep], eids[keep]
+        if sharded:
+            parts = _sharded_level_gather(
+                csr, frontier, config, _bfs_claim_shard, (dist,)
+            )
+            if len(parts) == 1:
+                origin, nbrs, eids = parts[0]
+            else:
+                origin = np.concatenate([p[0] for p in parts])
+                nbrs = np.concatenate([p[1] for p in parts])
+                eids = np.concatenate([p[2] for p in parts])
+        else:
+            origin, nbrs, eids = _bfs_claim_shard(
+                csr.indptr, csr.neighbor, csr.edge_id, frontier, dist
+            )
         if nbrs.size == 0:
             break
         # First occurrence in gather order = legacy claim order.
@@ -285,7 +401,10 @@ def contract_edges(
 
 
 def contract_csr(
-    num_clusters: int, new_u: np.ndarray, new_v: np.ndarray
+    num_clusters: int,
+    new_u: np.ndarray,
+    new_v: np.ndarray,
+    parallel: ParallelConfig | None = None,
 ) -> CSRAdjacency:
     """Emit the quotient's CSR adjacency directly from a contraction.
 
@@ -294,9 +413,11 @@ def contract_csr(
     :func:`~repro.graphs.csr.build_csr` needs — so the child CSR can be
     materialized in the same pass and seeded into the quotient's cache,
     making the chained contractions of AKPW and the j-tree hierarchy
-    pay zero lazy adjacency rebuilds per level.
+    pay zero lazy adjacency rebuilds per level. Under a sharded config
+    the emission sorts per ``indptr`` node range on the worker pool
+    (see :func:`~repro.graphs.csr.build_csr`), still bit-identical.
     """
-    return build_csr(num_clusters, new_u, new_v)
+    return build_csr(num_clusters, new_u, new_v, parallel=parallel)
 
 
 def pair_first_edge_index(

@@ -1,0 +1,58 @@
+"""Worker-sharded execution backend for the array-native substrate.
+
+The paper's algorithm is distributed by construction: congestion-
+approximator products decompose into independent per-tree work and the
+BFS/contraction primitives into independent per-node-range work. This
+package is the centralized mirror of that decomposition — it partitions
+the *data* of the already-whole-array kernels across workers:
+
+* :class:`ShardPlan` — balanced contiguous partitions of CSR ``indptr``
+  node ranges, BFS frontiers, and stacked-operator tree rows;
+* :class:`ParallelConfig` — shard count / pool backend / adaptive
+  threshold, defaulting process-wide from ``REPRO_WORKERS`` (and
+  ``REPRO_BACKEND``); ``REPRO_WORKERS=2 pytest`` runs the entire suite
+  sharded;
+* pools (:mod:`repro.parallel.pool`) — serial, thread, and fork+
+  shared-memory process execution behind one ordered-``map`` contract.
+
+The sharded kernels themselves live next to their serial twins
+(:mod:`repro.graphs.kernels`, :mod:`repro.graphs.csr`,
+:mod:`repro.core.stacked`) and are **bit-identical** to them by
+construction: shards are contiguous index ranges whose outputs
+concatenate back into the exact serial element order, so every
+downstream fold (tie-breaking, ``bincount`` accumulation, floating-
+point summation) is unchanged. ``tests/parallel_harness.py`` sweeps a
+seed × generator × shard-count matrix asserting exact equality.
+"""
+
+from repro.parallel.config import (
+    ParallelConfig,
+    default_config,
+    resolve_config,
+    set_default_config,
+    use_config,
+)
+from repro.parallel.plan import ShardPlan
+from repro.parallel.pool import (
+    ProcessPool,
+    SerialPool,
+    ThreadPool,
+    WorkerPool,
+    get_pool,
+    shutdown_pools,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "ShardPlan",
+    "WorkerPool",
+    "SerialPool",
+    "ThreadPool",
+    "ProcessPool",
+    "default_config",
+    "resolve_config",
+    "set_default_config",
+    "use_config",
+    "get_pool",
+    "shutdown_pools",
+]

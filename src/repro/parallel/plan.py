@@ -1,0 +1,109 @@
+"""Shard plans: balanced contiguous partitions of array index ranges.
+
+Every sharded kernel in the library splits *contiguous* index ranges —
+CSR ``indptr`` node ranges, BFS frontier slices, stacked-operator tree
+rows — never arbitrary subsets. Contiguity is what keeps the sharded
+paths bit-identical to the serial ones: concatenating shard outputs in
+shard order reproduces the exact element order the serial whole-array
+pass produces, so every downstream fold (``np.unique`` tie-breaks,
+``bincount`` accumulation order, floating-point summation order) is
+unchanged.
+
+A :class:`ShardPlan` is just the boundary array of such a partition,
+balanced either by item count (:meth:`ShardPlan.even`) or by a
+per-item weight such as CSR degrees (:meth:`ShardPlan.balanced`), so
+no worker is handed a degenerate share of the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous partition ``0 = b_0 <= b_1 <= ... <= b_S = total``.
+
+    Attributes:
+        bounds: ``(S + 1,)`` int64 strictly increasing boundaries
+            (empty shards are dropped at construction, so every
+            ``[bounds[i], bounds[i+1])`` range is non-empty — except
+            for the degenerate all-empty plan over zero items).
+    """
+
+    bounds: np.ndarray
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def total(self) -> int:
+        return int(self.bounds[-1])
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The shard ranges as ``(lo, hi)`` pairs, in index order."""
+        b = self.bounds
+        return [(int(b[i]), int(b[i + 1])) for i in range(len(b) - 1)]
+
+    @staticmethod
+    def _from_raw_bounds(raw: np.ndarray, total: int) -> "ShardPlan":
+        bounds = np.unique(
+            np.concatenate(([0], np.asarray(raw, dtype=np.int64), [total]))
+        )
+        return ShardPlan(bounds=bounds)
+
+    @classmethod
+    def even(cls, total: int, num_shards: int) -> "ShardPlan":
+        """Split ``total`` items into at most ``num_shards`` near-equal
+        contiguous ranges."""
+        total = int(total)
+        if total <= 0:
+            return cls(bounds=np.zeros(1, dtype=np.int64))
+        num_shards = max(1, min(int(num_shards), total))
+        raw = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
+        return cls._from_raw_bounds(raw, total)
+
+    @classmethod
+    def balanced(cls, weights: np.ndarray, num_shards: int) -> "ShardPlan":
+        """Split ``len(weights)`` items into contiguous ranges of
+        near-equal total weight (weights must be non-negative).
+
+        Boundary selection is the standard prefix-sum split: shard
+        ``i`` ends at the first index whose cumulative weight reaches
+        ``i/S`` of the total. Zero-weight tails collapse into their
+        neighbor (the boundary dedup drops empty shards).
+        """
+        weights = np.asarray(weights)
+        total = len(weights)
+        if total <= 0:
+            return cls(bounds=np.zeros(1, dtype=np.int64))
+        num_shards = max(1, min(int(num_shards), total))
+        if num_shards == 1:
+            return cls(bounds=np.array([0, total], dtype=np.int64))
+        cumulative = np.cumsum(weights, dtype=np.float64)
+        mass = float(cumulative[-1])
+        if mass <= 0:
+            return cls.even(total, num_shards)
+        targets = mass * np.arange(1, num_shards, dtype=np.float64) / num_shards
+        raw = np.searchsorted(cumulative, targets, side="left") + 1
+        return cls._from_raw_bounds(raw, total)
+
+    @classmethod
+    def for_nodes(cls, indptr: np.ndarray, num_shards: int) -> "ShardPlan":
+        """Partition the node range of a CSR by incidence count, so each
+        shard owns ``~2m/S`` incidences rather than ``~n/S`` nodes."""
+        return cls.balanced(np.diff(indptr), num_shards)
+
+    @classmethod
+    def for_frontier(
+        cls, indptr: np.ndarray, frontier: np.ndarray, num_shards: int
+    ) -> "ShardPlan":
+        """Partition a BFS frontier by the degree mass of its nodes."""
+        return cls.balanced(
+            indptr[frontier + 1] - indptr[frontier], num_shards
+        )

@@ -1,0 +1,248 @@
+"""Worker pools executing shard tasks: serial, thread, process.
+
+The pool contract is deliberately minimal — :meth:`WorkerPool.map`
+takes a **top-level function** and a list of argument tuples and
+returns the results *in task order*. Task order is the whole story:
+sharded kernels concatenate shard outputs positionally to reproduce
+the serial element order, so a pool may schedule tasks however it
+likes but must never reorder results.
+
+Backends:
+
+* :class:`SerialPool` — runs shards in-process, one after the other.
+  Zero scheduling overhead and deterministic interleaving; used for
+  tests and as the cache-blocked fallback on single-core hosts.
+* :class:`ThreadPool` — a persistent ``ThreadPoolExecutor``. The hot
+  kernels are NumPy whole-array calls that release the GIL, so shards
+  genuinely overlap on multi-core hosts, and arrays are shared by
+  reference (no copies).
+* :class:`ProcessPool` — a persistent fork-context
+  ``multiprocessing.Pool``. NumPy array arguments are exported once
+  per ``map`` call into POSIX shared memory
+  (:class:`multiprocessing.shared_memory.SharedMemory`) and workers
+  receive zero-copy **read-only views**; only scalar arguments and the
+  (typically small) result arrays cross the pickle boundary. Export
+  granularity is per ``map`` call: kernels that loop over many small
+  ``map`` rounds (level-synchronous BFS) re-export their invariant
+  arrays each round, so the process backend suits few-round /
+  large-shard work — a weakref-keyed cross-call export cache is the
+  ROADMAP follow-on.
+
+Pools are cached per ``(backend, workers)`` by :func:`get_pool` and
+shut down at interpreter exit (or explicitly via
+:func:`shutdown_pools`, which the test-suite does between backends).
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.parallel.config import ParallelConfig
+
+__all__ = [
+    "WorkerPool",
+    "SerialPool",
+    "ThreadPool",
+    "ProcessPool",
+    "get_pool",
+    "shutdown_pools",
+]
+
+
+class WorkerPool:
+    """Interface: ordered shard execution."""
+
+    #: Whether workers see the caller's memory (serial / thread pools).
+    #: In-process callers may then hand workers output views and cached
+    #: scratch buffers; process-pool callers must not.
+    shares_memory: bool = True
+
+    def map(
+        self, fn: Callable[..., Any], tasks: Sequence[tuple]
+    ) -> list[Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface default
+        pass
+
+
+class SerialPool(WorkerPool):
+    """Run every shard in the calling thread, in task order."""
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        return [fn(*args) for args in tasks]
+
+
+class ThreadPool(WorkerPool):
+    """Persistent thread pool; arrays are shared by reference."""
+
+    def __init__(self, workers: int) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        futures = [self._executor.submit(fn, *args) for args in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Process pool with shared-memory NumPy views
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SharedArrayRef:
+    """Picklable descriptor of an array living in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _attach_shared(ref: _SharedArrayRef):
+    """Attach a read-only view to a shared-memory array (worker side).
+
+    The parent owns the segment lifecycle (create → map → unlink), and
+    fork-context workers share the parent's resource-tracker process —
+    so the attach must NOT register with the tracker: its register
+    message races the parent's unlink-time unregister on the shared
+    pipe and leaves phantom names the tracker warns about at exit.
+    Python 3.13 has ``track=False`` for exactly this; on 3.11 the
+    standard workaround is masking the register call for the attach
+    (process-local to the worker, one attach at a time).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+    view.setflags(write=False)
+    return shm, view
+
+
+def _materialize(result: Any) -> Any:
+    """Deep-copy array results so nothing returned views shared memory
+    (the segment is closed immediately after the task body runs)."""
+    if isinstance(result, np.ndarray):
+        return np.array(result, copy=True)
+    if isinstance(result, tuple):
+        return tuple(_materialize(item) for item in result)
+    if isinstance(result, list):
+        return [_materialize(item) for item in result]
+    return result
+
+
+def _process_invoke(payload: tuple) -> Any:
+    """Worker entry point: resolve shared refs, run, materialize."""
+    fn, args = payload
+    segments = []
+    resolved = []
+    try:
+        for arg in args:
+            if isinstance(arg, _SharedArrayRef):
+                shm, view = _attach_shared(arg)
+                segments.append(shm)
+                resolved.append(view)
+            else:
+                resolved.append(arg)
+        return _materialize(fn(*resolved))
+    finally:
+        for shm in segments:
+            shm.close()
+
+
+class ProcessPool(WorkerPool):
+    """Persistent fork-context process pool with shared-memory inputs."""
+
+    shares_memory = False
+
+    def __init__(self, workers: int) -> None:
+        import multiprocessing
+
+        self._workers = workers
+        self._context = multiprocessing.get_context("fork")
+        self._pool = self._context.Pool(processes=workers)
+
+    def _export(self, array: np.ndarray):
+        from multiprocessing import shared_memory
+
+        data = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+        staged[...] = data
+        ref = _SharedArrayRef(
+            name=shm.name, shape=data.shape, dtype=data.dtype.str
+        )
+        return ref, shm
+
+    def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
+        exported: dict[int, tuple[_SharedArrayRef, Any]] = {}
+        keepalive: list[np.ndarray] = []  # pin ids for the dedup dict
+        payloads = []
+        try:
+            for args in tasks:
+                prepared = []
+                for arg in args:
+                    if isinstance(arg, np.ndarray) and arg.nbytes > 0:
+                        key = id(arg)
+                        if key not in exported:
+                            exported[key] = self._export(arg)
+                            keepalive.append(arg)
+                        prepared.append(exported[key][0])
+                    else:
+                        prepared.append(arg)
+                payloads.append((fn, prepared))
+            return self._pool.map(_process_invoke, payloads)
+        finally:
+            for _, shm in exported.values():
+                shm.close()
+                shm.unlink()
+            del keepalive
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+
+_POOLS: dict[tuple[str, int], WorkerPool] = {}
+_SERIAL = SerialPool()
+
+
+def get_pool(config: ParallelConfig) -> WorkerPool:
+    """The cached pool for a config (created lazily, reused forever)."""
+    if config.backend == "serial" or config.workers <= 1:
+        return _SERIAL
+    key = (config.backend, config.workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        if config.backend == "thread":
+            pool = ThreadPool(config.workers)
+        elif config.backend == "process":
+            pool = ProcessPool(config.workers)
+        else:  # pragma: no cover - config validates backends
+            raise GraphError(f"unknown parallel backend {config.backend!r}")
+        _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close and drop every cached pool (tests call this between
+    backends; also registered at interpreter exit)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.close()
+
+
+atexit.register(shutdown_pools)

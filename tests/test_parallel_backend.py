@@ -1,0 +1,375 @@
+"""Cross-shard equivalence suite for the sharded execution backend.
+
+Sweeps the harness's seed × generator × shard-count × backend matrix
+(``tests/parallel_harness.py``) over every sharded kernel — frontier
+BFS, CSR build, contraction, the stacked operator's products — and
+end-to-end ``max_flow`` / ``max_flow_binary_search``, asserting **bit
+identity** with the serial paths plus cache-state invariants after
+sharded runs. Also covers the ShardPlan / ParallelConfig / pool
+machinery itself, including the fork + shared-memory process backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.almost_route import RouteWorkspace, almost_route
+from repro.core.binary_search import max_flow_binary_search
+from repro.core.maxflow import max_flow, min_congestion_flow
+from repro.errors import GraphError
+from repro.graphs import kernels
+from repro.graphs.generators import random_connected
+from repro.graphs.graph import SMALL_GRAPH_LIMIT
+from repro.parallel import (
+    ParallelConfig,
+    ShardPlan,
+    default_config,
+    set_default_config,
+    shutdown_pools,
+    use_config,
+)
+from repro.parallel.config import DEFAULT_MIN_SIZE
+
+from parallel_harness import (
+    BACKENDS,
+    GENERATORS,
+    SEEDS,
+    SHARD_COUNTS,
+    assert_arrays_identical,
+    assert_bfs_equivalent,
+    assert_cache_invariants,
+    assert_contract_equivalent,
+    assert_csr_build_equivalent,
+    assert_operator_equivalent,
+    build_test_approximator,
+    forced,
+    make_graph,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_pools():
+    """Leave no worker pools behind for the rest of the suite."""
+    yield
+    shutdown_pools()
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_even_partitions_exactly(self):
+        plan = ShardPlan.even(10, 3)
+        assert plan.ranges() == [(0, 3), (3, 6), (6, 10)]
+        assert plan.total == 10
+
+    def test_even_clamps_to_total(self):
+        assert ShardPlan.even(2, 8).num_shards == 2
+        assert ShardPlan.even(0, 4).num_shards == 0
+
+    def test_balanced_splits_by_weight(self):
+        # One heavy item up front: the first shard should be just it.
+        weights = np.array([100, 1, 1, 1, 1, 1])
+        plan = ShardPlan.balanced(weights, 2)
+        assert plan.ranges()[0] == (0, 1)
+        assert plan.ranges()[-1][1] == 6
+
+    def test_balanced_zero_weights_fall_back_to_even(self):
+        plan = ShardPlan.balanced(np.zeros(8), 2)
+        assert plan.ranges() == [(0, 4), (4, 8)]
+
+    def test_ranges_cover_and_are_disjoint(self):
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            weights = rng.integers(0, 50, size=int(rng.integers(1, 40)))
+            shards = int(rng.integers(1, 8))
+            plan = ShardPlan.balanced(weights, shards)
+            ranges = plan.ranges()
+            assert ranges[0][0] == 0 and ranges[-1][1] == len(weights)
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+            assert all(lo < hi for lo, hi in ranges)
+
+    def test_for_frontier_balances_degree_mass(self):
+        graph = make_graph("random", 101)
+        indptr = graph.csr().indptr
+        frontier = np.arange(graph.num_nodes, dtype=np.int64)
+        plan = ShardPlan.for_frontier(indptr, frontier, 3)
+        masses = [
+            float((indptr[frontier[lo:hi] + 1] - indptr[frontier[lo:hi]]).sum())
+            for lo, hi in plan.ranges()
+        ]
+        assert max(masses) <= 2.0 * (sum(masses) / len(masses)) + max(
+            np.diff(indptr)
+        )
+
+
+# ----------------------------------------------------------------------
+# ParallelConfig
+# ----------------------------------------------------------------------
+class TestParallelConfig:
+    def test_default_is_serial(self):
+        config = ParallelConfig()
+        assert config.workers == 1
+        assert not config.should_shard(1 << 30)
+
+    def test_min_size_matches_substrate_threshold(self):
+        assert DEFAULT_MIN_SIZE == SMALL_GRAPH_LIMIT
+
+    def test_should_shard_thresholds(self):
+        config = ParallelConfig(workers=2, backend="thread", min_size=100)
+        assert config.should_shard(100)
+        assert not config.should_shard(99)
+
+    def test_rejects_bad_backend_and_workers(self):
+        with pytest.raises(GraphError):
+            ParallelConfig(workers=2, backend="gpu")
+        with pytest.raises(GraphError):
+            ParallelConfig(workers=0)
+
+    def test_from_env(self):
+        assert ParallelConfig.from_env({}) == ParallelConfig()
+        assert ParallelConfig.from_env({"REPRO_WORKERS": "1"}).workers == 1
+        config = ParallelConfig.from_env({"REPRO_WORKERS": "4"})
+        assert config.workers == 4 and config.backend == "thread"
+        config = ParallelConfig.from_env(
+            {"REPRO_WORKERS": "2", "REPRO_BACKEND": "serial"}
+        )
+        assert config.backend == "serial"
+        with pytest.raises(GraphError):
+            ParallelConfig.from_env({"REPRO_WORKERS": "many"})
+
+    def test_use_config_scopes_the_default(self):
+        baseline = default_config()
+        override = forced(3, "serial")
+        with use_config(override):
+            assert default_config() is override
+        assert default_config() is baseline
+
+    def test_set_default_config_returns_previous(self):
+        baseline = default_config()
+        try:
+            previous = set_default_config(forced(2))
+            assert previous is baseline
+        finally:
+            set_default_config(baseline)
+
+
+# ----------------------------------------------------------------------
+# Kernel equivalence sweep (tentpole matrix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestKernelEquivalence:
+    def test_bfs_and_csr_sweep(self, name, seed):
+        graph = make_graph(name, seed)
+        for workers in SHARD_COUNTS:
+            for backend in BACKENDS:
+                config = forced(workers, backend)
+                assert_bfs_equivalent(graph, config)
+                assert_csr_build_equivalent(graph, config)
+
+    def test_contract_sweep(self, name, seed):
+        graph = make_graph(name, seed)
+        for workers in SHARD_COUNTS:
+            assert_contract_equivalent(graph, forced(workers, "serial"))
+        assert_contract_equivalent(graph, forced(2, "thread"))
+
+
+# ----------------------------------------------------------------------
+# Stacked-operator equivalence sweep (tentpole matrix)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_operator_equivalence_sweep(name, seed):
+    graph = make_graph(name, seed)
+    approximator = build_test_approximator(graph, seed)
+    for workers in SHARD_COUNTS:
+        for backend in BACKENDS:
+            assert_operator_equivalent(
+                graph, approximator, forced(workers, backend), seed
+            )
+    # Oversubscribed plans clamp to the tree count and stay exact.
+    assert_operator_equivalent(
+        graph, approximator, forced(64, "serial"), seed
+    )
+
+
+def test_operator_adaptive_threshold_respected():
+    """Below min_size the sharded entry points take the serial path
+    (no pools touched); forcing min_size=0 takes the sharded path."""
+    graph = make_graph("random", 101)
+    approximator = build_test_approximator(graph, 101)
+    stacked = approximator.stacked()
+    demand = np.zeros(graph.num_nodes)
+    demand[0], demand[-1] = 1.0, -1.0
+    lazy = ParallelConfig(workers=4, backend="serial", min_size=1 << 30)
+    stacked.apply(demand, parallel=lazy)
+    assert stacked._shard_cache == {}
+    stacked.apply(demand, parallel=forced(4))
+    assert list(stacked._shard_cache) == [4]
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity (satellite: randomized-seed parity suite)
+# ----------------------------------------------------------------------
+class TestEndToEndParity:
+    WORKER_SWEEP = (1, 2, 4)
+
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_max_flow_parity(self, seed):
+        graph = random_connected(48, 0.1, rng=seed)
+        approximator = build_test_approximator(graph, seed)
+        baseline = max_flow(
+            graph, 0, graph.num_nodes - 1, approximator=approximator, rng=seed
+        )
+        for workers in self.WORKER_SWEEP:
+            for backend in ("serial", "thread"):
+                result = max_flow(
+                    graph,
+                    0,
+                    graph.num_nodes - 1,
+                    approximator=approximator,
+                    rng=seed,
+                    parallel=forced(workers, backend),
+                )
+                assert result.value == baseline.value
+                assert_arrays_identical(
+                    f"max_flow.flow[w={workers},{backend}]",
+                    baseline.flow,
+                    result.flow,
+                )
+                assert (
+                    result.congestion_result.congestion
+                    == baseline.congestion_result.congestion
+                )
+                assert (
+                    result.congestion_result.lower_bound
+                    == baseline.congestion_result.lower_bound
+                )
+        assert_cache_invariants(graph)
+
+    def test_max_flow_binary_search_parity(self):
+        seed = 303
+        graph = random_connected(40, 0.12, rng=seed)
+        approximator = build_test_approximator(graph, seed)
+        baseline = max_flow_binary_search(
+            graph, 0, 7, approximator=approximator, rng=seed, epsilon=0.5
+        )
+        for workers in self.WORKER_SWEEP:
+            result = max_flow_binary_search(
+                graph,
+                0,
+                7,
+                approximator=approximator,
+                rng=seed,
+                epsilon=0.5,
+                parallel=forced(workers, "thread"),
+            )
+            assert result.value == baseline.value
+            assert result.search_steps == baseline.search_steps
+            assert result.bracket == baseline.bracket
+            assert_arrays_identical(
+                f"binary_search.flow[w={workers}]", baseline.flow, result.flow
+            )
+
+    def test_fully_sharded_construction_parity(self):
+        """REPRO_WORKERS-style global config: *everything* — hierarchy
+        sampling, CSR builds, BFS, products — runs sharded and still
+        reproduces the serial run bit for bit."""
+        graph = random_connected(48, 0.1, rng=404)
+        baseline = max_flow(graph, 1, 17, rng=404)
+        sharded_graph = random_connected(48, 0.1, rng=404)
+        with use_config(forced(2, "thread")):
+            sharded = max_flow(sharded_graph, 1, 17, rng=404)
+        assert sharded.value == baseline.value
+        assert_arrays_identical("global.flow", baseline.flow, sharded.flow)
+        assert (
+            sharded.congestion_result.iterations
+            == baseline.congestion_result.iterations
+        )
+
+    def test_min_congestion_flow_parity(self):
+        graph = random_connected(48, 0.1, rng=505)
+        approximator = build_test_approximator(graph, 505)
+        rng = np.random.default_rng(506)
+        demand = rng.normal(size=graph.num_nodes)
+        demand -= demand.mean()
+        baseline = min_congestion_flow(
+            graph, demand, approximator=approximator, rng=505
+        )
+        for workers in (2, 4):
+            result = min_congestion_flow(
+                graph,
+                demand,
+                approximator=approximator,
+                rng=505,
+                parallel=forced(workers, "thread"),
+            )
+            assert_arrays_identical(
+                f"min_congestion.flow[w={workers}]", baseline.flow, result.flow
+            )
+            assert result.congestion == baseline.congestion
+            assert result.iterations == baseline.iterations
+
+
+# ----------------------------------------------------------------------
+# Workspace reuse (satellite: regression test)
+# ----------------------------------------------------------------------
+class TestRouteWorkspaceReuse:
+    def test_two_max_flows_on_one_workspace_match_fresh(self):
+        """Reusing one RouteWorkspace across max_flow calls with
+        *different* demands must not leak state (stale soft-max
+        scratch, flow buffers) into the second result."""
+        graph = random_connected(48, 0.1, rng=606)
+        approximator = build_test_approximator(graph, 606)
+        workspace = RouteWorkspace(graph, approximator)
+        max_flow(graph, 0, 9, approximator=approximator, workspace=workspace)
+        reused = max_flow(
+            graph, 3, 21, approximator=approximator, workspace=workspace
+        )
+        fresh = max_flow(graph, 3, 21, approximator=approximator)
+        assert reused.value == fresh.value
+        assert_arrays_identical("workspace.flow", fresh.flow, reused.flow)
+        assert (
+            reused.congestion_result.congestion
+            == fresh.congestion_result.congestion
+        )
+        assert (
+            reused.congestion_result.iterations
+            == fresh.congestion_result.iterations
+        )
+
+    def test_almost_route_workspace_reuse_matches_fresh(self):
+        graph = random_connected(48, 0.1, rng=707)
+        approximator = build_test_approximator(graph, 707)
+        workspace = RouteWorkspace(graph, approximator)
+        demands = []
+        rng = np.random.default_rng(708)
+        for _ in range(2):
+            demand = rng.normal(size=graph.num_nodes)
+            demand -= demand.mean()
+            demands.append(demand)
+        almost_route(graph, approximator, demands[0], 0.5, workspace=workspace)
+        reused = almost_route(
+            graph, approximator, demands[1], 0.5, workspace=workspace
+        )
+        fresh = almost_route(graph, approximator, demands[1], 0.5)
+        assert reused.iterations == fresh.iterations
+        assert reused.potential == fresh.potential
+        assert_arrays_identical("route.flow", fresh.flow, reused.flow)
+        assert_arrays_identical("route.residual", fresh.residual, reused.residual)
+
+
+# ----------------------------------------------------------------------
+# Process backend (fork + shared-memory views)
+# ----------------------------------------------------------------------
+class TestProcessBackend:
+    def test_kernels_and_operator_match_serial(self):
+        graph = make_graph("random", 101)
+        config = forced(2, "process")
+        assert_bfs_equivalent(graph, config)
+        assert_csr_build_equivalent(graph, config)
+        approximator = build_test_approximator(graph, 101)
+        assert_operator_equivalent(graph, approximator, config, 101)

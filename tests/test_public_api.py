@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.cluster",
     "repro.jtree",
     "repro.core",
+    "repro.parallel",
     "repro.util",
 ]
 

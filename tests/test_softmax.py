@@ -79,3 +79,59 @@ class TestGradient:
     def test_no_overflow_gradient(self):
         g = smax_gradient(np.array([800.0, -800.0, 0.0]))
         assert np.all(np.isfinite(g))
+
+
+class TestFusedExp:
+    """The single-``np.exp`` pair-buffer path is golden bit-identical
+    to the split two-exp path and to the pre-fusion implementation."""
+
+    @staticmethod
+    def _legacy_reference(y: np.ndarray) -> tuple[float, np.ndarray]:
+        """The exact pre-fusion computation (two exp calls, same
+        summation fold), replicated as the golden oracle."""
+        m = float(np.abs(y).max())
+        pos = np.exp(y - m)
+        neg = np.exp(-y - m)
+        total = pos.sum() + neg.sum()
+        return m + float(np.log(total)), (pos - neg) / total
+
+    @pytest.mark.parametrize("k", [1, 2, 17, 256, 1023])
+    def test_all_paths_bit_identical(self, k):
+        rng = np.random.default_rng(k)
+        y = rng.normal(size=k) * 40.0
+        golden_value, golden_grad = self._legacy_reference(y)
+
+        value_fused, grad_fused = smax_and_gradient(y)
+        out = np.empty(k)
+        pair = np.empty(2 * k)
+        value_pair, grad_pair = smax_and_gradient(y, out=out, scratch=pair)
+        split_out = np.empty(k)
+        split_scratch = np.empty(k)
+        value_split, grad_split = smax_and_gradient(
+            y, out=split_out, scratch=split_scratch
+        )
+
+        assert value_fused == golden_value == value_pair == value_split
+        assert grad_pair is out
+        assert grad_split is split_out
+        assert np.array_equal(golden_grad, grad_fused)
+        assert np.array_equal(golden_grad, grad_pair)
+        assert np.array_equal(golden_grad, grad_split)
+
+    def test_pair_buffer_is_allocation_site(self):
+        """With out= and a pair scratch the gradient lands in out and
+        the exponentials in the caller's buffer (no hidden copies)."""
+        y = np.linspace(-3.0, 3.0, 8)
+        out = np.empty(8)
+        pair = np.empty(16)
+        _, grad = smax_and_gradient(y, out=out, scratch=pair)
+        assert grad is out
+        m = np.abs(y).max()
+        assert np.array_equal(pair[:8], np.exp(y - m))
+        assert np.array_equal(pair[8:], np.exp(-y - m))
+
+    def test_pair_scratch_rejects_alias(self):
+        base = np.zeros(16)
+        y = base[:8]
+        with pytest.raises(ValueError):
+            smax_and_gradient(y, scratch=base)

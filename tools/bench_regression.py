@@ -2,13 +2,17 @@
 """Benchmark-regression gate for CI.
 
 Re-measures the ``approximator_build_n{256,1024,4096}`` rows (median
-wall-clock of ``build_congestion_approximator``) and the apply-path
-rows ``approximator_apply_n*`` / ``approximator_apply_transpose_n*`` /
+wall-clock of ``build_congestion_approximator``), the apply-path rows
+``approximator_apply_n*`` / ``approximator_apply_transpose_n*`` /
 ``almost_route_n*`` (median wall-clock of the flat stacked operator
 products and one AlmostRoute solve, same configuration the benchmark
-harness records) and fails — exit code 1 — if any median regresses
-more than ``--factor`` (default 2×) versus the checked-in
-``BENCH_graphcore.json`` baseline.
+harness records) and the execution-backend rows ``*_sharded_n4096``
+(median wall-clock of the sharded R·b / Rᵀ·g products and frontier BFS
+under the ``REPRO_WORKERS=2`` thread-pool config, compared against the
+checked-in *sharded* medians; the live serial-vs-sharded ratio is
+printed alongside for visibility) and fails — exit code 1 — if any
+median regresses more than ``--factor`` (default 2×) versus the
+checked-in ``BENCH_graphcore.json`` baseline.
 
 Run from the repository root with ``src`` importable::
 
@@ -59,6 +63,15 @@ def main(argv: list[str] | None = None) -> int:
     bench = _load_bench_module()
     measured = bench.measure_approximator_benchmarks()
     measured.update(bench.measure_apply_benchmarks())
+    backend_rows = bench.measure_execution_backend_benchmarks()
+    for name, pair in backend_rows.items():
+        measured[name] = pair["sharded_s"]
+        ratio = pair["serial_s"] / pair["sharded_s"]
+        print(
+            f"info {name}: serial={pair['serial_s']:.6f}s "
+            f"sharded={pair['sharded_s']:.6f}s "
+            f"(sharded is {ratio:.2f}x serial on this host)"
+        )
 
     failures = []
     for name, current_s in measured.items():
