@@ -111,10 +111,17 @@ APPLY_BENCH_CONFIG = {
 }
 
 #: nodes -> (edge probability, generator seed, build rng seed, data
-#: seed, operator reps, bfs reps) for the PR 4 sharded-execution rows:
-#: flat-serial vs sharded medians of R·b / Rᵀ·g and frontier BFS at the
-#: scale where sharding is on by default (n + 2m >> SMALL_GRAPH_LIMIT).
-SHARDED_BENCH_CONFIG = {4096: (0.003, 940, 941, 77, 60, 20)}
+#: seed, operator reps, bfs reps, hop reps, mwu reps) for the sharded-
+#: execution rows: flat-serial vs sharded medians of R·b / Rᵀ·g,
+#: frontier BFS, multi-source hop distances and the stacked MWU length
+#: evaluation at the scale where sharding is on by default
+#: (n + 2m >> SMALL_GRAPH_LIMIT).
+SHARDED_BENCH_CONFIG = {4096: (0.003, 940, 941, 77, 60, 20, 5, 40)}
+#: Source count for the hop_distances_sharded_n* rows and sample-row
+#: count for the mwu_lengths_sharded_n* rows (the O(log n) stack the
+#: batched hierarchy evaluates).
+SHARDED_BENCH_HOP_SOURCES = 64
+SHARDED_BENCH_MWU_SAMPLES = 12
 #: The sharded rows run the documented env default (REPRO_WORKERS=2 →
 #: thread pool), forced past the adaptive threshold. On a single-core
 #: runner the thread pool serializes and the rows show the scheduling
@@ -224,10 +231,11 @@ def measure_execution_backend_benchmarks() -> dict[str, dict[str, float]]:
     scheduling, never accuracy.
     """
     from repro.graphs import kernels
+    from repro.jtree.mwu import mwu_lengths
     from repro.parallel import ParallelConfig
 
     out: dict[str, dict[str, float]] = {}
-    for n, (p, gseed, rseed, dseed, op_reps, bfs_reps) in (
+    for n, (p, gseed, rseed, dseed, op_reps, bfs_reps, hop_reps, mwu_reps) in (
         SHARDED_BENCH_CONFIG.items()
     ):
         config = ParallelConfig(
@@ -276,6 +284,35 @@ def measure_execution_backend_benchmarks() -> dict[str, dict[str, float]]:
             ),
             "sharded_s": _median_time(
                 lambda: kernels.bfs_levels(csr, 0, parallel=config), bfs_reps
+            ),
+        }
+        sources = np.arange(
+            0, n, max(1, n // SHARDED_BENCH_HOP_SOURCES), dtype=np.int64
+        )[:SHARDED_BENCH_HOP_SOURCES]
+        out[f"hop_distances_sharded_n{n}"] = {
+            "serial_s": _median_time(
+                lambda: kernels.multi_source_hop_distances(
+                    csr, sources, parallel=serial
+                ),
+                hop_reps,
+            ),
+            "sharded_s": _median_time(
+                lambda: kernels.multi_source_hop_distances(
+                    csr, sources, parallel=config
+                ),
+                hop_reps,
+            ),
+        }
+        caps = g.capacities()
+        stack = np.random.default_rng(dseed + 1).uniform(
+            0.0, 60.0, size=(SHARDED_BENCH_MWU_SAMPLES, g.num_edges)
+        )
+        out[f"mwu_lengths_sharded_n{n}"] = {
+            "serial_s": _median_time(
+                lambda: mwu_lengths(stack, caps, parallel=serial), mwu_reps
+            ),
+            "sharded_s": _median_time(
+                lambda: mwu_lengths(stack, caps, parallel=config), mwu_reps
             ),
         }
     return out

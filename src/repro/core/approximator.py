@@ -352,9 +352,11 @@ def build_congestion_approximator(
         hierarchy_params: Tunables for the "hierarchy" method.
         parallel: Optional sharded-execution config stored on the
             approximator: its R / Rᵀ products then run sharded on the
-            configured pool (bit-identical to serial). Construction-
-            time kernels (BFS, contraction, CSR builds) follow the
-            ``REPRO_WORKERS`` process default independently.
+            configured pool (bit-identical to serial), and the
+            hierarchy's stacked MWU length evaluations follow it during
+            construction. The remaining construction-time kernels (BFS,
+            contraction, CSR builds) follow the ``REPRO_WORKERS``
+            process default independently.
 
     Returns:
         A :class:`TreeCongestionApproximator`.
@@ -373,7 +375,8 @@ def build_congestion_approximator(
         # work is stacked across samples and coinciding cores are
         # shared.
         samples = sample_virtual_trees(
-            graph, num_trees, rng=rng, params=hierarchy_params
+            graph, num_trees, rng=rng, params=hierarchy_params,
+            parallel=parallel,
         )
         trees = [sample.tree for sample in samples]
     elif method == "mwu":

@@ -296,6 +296,19 @@ class StackedTreeOperator:
             )
             scatter -= t0 * (n + 1)
             trees = t1 - t0
+            order = self._order[t0 * n : t1 * n]
+            tin_rows = self._tin_rows[r0:r1] - t0 * n
+            tout_rows = self._tout_rows[r0:r1] - t0 * n
+            inv_capacity = self._row_inv_capacity[r0:r1]
+            pot_rows = self._pot_rows[t0 * n : t1 * n] - t0 * n
+            # The invariant per-shard arrays are read-only: workers
+            # only gather through them, and the flag is what lets the
+            # process pool's persistent arena export each one once per
+            # operator lifetime instead of once per product call.
+            for invariant in (
+                order, tin_rows, tout_rows, inv_capacity, scatter, pot_rows
+            ):
+                invariant.setflags(write=False)
             shards.append(
                 _StackedShard(
                     t0=t0,
@@ -303,12 +316,12 @@ class StackedTreeOperator:
                     r0=r0,
                     r1=r1,
                     trees=trees,
-                    order=self._order[t0 * n : t1 * n],
-                    tin_rows=self._tin_rows[r0:r1] - t0 * n,
-                    tout_rows=self._tout_rows[r0:r1] - t0 * n,
-                    inv_capacity=self._row_inv_capacity[r0:r1],
+                    order=order,
+                    tin_rows=tin_rows,
+                    tout_rows=tout_rows,
+                    inv_capacity=inv_capacity,
                     scatter_idx=scatter,
-                    pot_rows=self._pot_rows[t0 * n : t1 * n] - t0 * n,
+                    pot_rows=pot_rows,
                     prefix=np.empty((trees, n)),
                     row_scratch=np.empty(r1 - r0),
                     signed=np.empty(2 * (r1 - r0)),

@@ -38,6 +38,7 @@ per edge.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -47,6 +48,7 @@ import numpy as np
 from repro.errors import DisconnectedGraphError, GraphError
 from repro.graphs import kernels
 from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, MAX_INDEX, build_csr
+from repro.parallel.arena import tag_array_version
 
 __all__ = ["Edge", "Graph"]
 
@@ -117,6 +119,12 @@ class Graph:
         self._eu = np.empty(_INITIAL_BUFFER, dtype=INDEX_DTYPE)
         self._ev = np.empty(_INITIAL_BUFFER, dtype=INDEX_DTYPE)
         self._cap = np.empty(_INITIAL_BUFFER, dtype=float)
+        self._version = 0
+        # Weakrefs to every capacities() view ever handed out: views
+        # from *earlier* invalidation epochs may still alias the live
+        # buffer (no regrow in between), so a write-through must retag
+        # all of them, not just the currently cached one.
+        self._cap_view_refs: list[weakref.ref] = []
         self._invalidate()
         triples = list(edges)
         if triples:
@@ -131,7 +139,11 @@ class Graph:
     # Cache management
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
-        """Drop every derived view after a structural mutation."""
+        """Drop every derived view after a structural mutation, and
+        advance the cache-invalidation counter that version-keys any
+        cross-call shared-memory exports of the cached views (see
+        :mod:`repro.parallel.arena`)."""
+        self._version += 1
         self._csr_cache: CSRAdjacency | None = None
         self._adj_cache: list[list[tuple[int, int]]] | None = None
         self._cap_view: np.ndarray | None = None
@@ -322,11 +334,26 @@ class Graph:
 
     def set_capacity(self, eid: int, capacity: float) -> None:
         """Overwrite the capacity of edge ``eid`` (cached capacity views
-        see the new value; no cache rebuild needed)."""
+        see the new value; no cache rebuild needed).
+
+        The write goes through the cached ``capacities()`` view without
+        replacing the view object, so the data-version tag on that view
+        must advance: a process pool that exported the view into shared
+        memory re-exports it on the next ``map`` instead of serving the
+        pre-write bytes.
+        """
         cap = float(capacity)
         if not cap > 0 or not np.isfinite(cap):
             raise GraphError(f"capacity must be positive, got {capacity}")
         self._cap[self._edge_slot(eid)] = cap
+        self._version += 1
+        live = []
+        for ref in self._cap_view_refs:
+            view = ref()
+            if view is not None:
+                tag_array_version(view, self._version)
+                live.append(ref)
+        self._cap_view_refs = live
 
     def csr(self) -> CSRAdjacency:
         """Return the cached CSR adjacency (built lazily, invalidated on
@@ -358,7 +385,12 @@ class Graph:
         if self._cap_view is None:
             view = self._cap[: self._m].view()
             view.setflags(write=False)
+            tag_array_version(view, self._version)
             self._cap_view = view
+            self._cap_view_refs = [
+                ref for ref in self._cap_view_refs if ref() is not None
+            ]
+            self._cap_view_refs.append(weakref.ref(view))
         return self._cap_view
 
     def edge_index_arrays(self) -> tuple[np.ndarray, np.ndarray]:
@@ -369,6 +401,8 @@ class Graph:
             heads = self._ev[: self._m].view()
             tails.setflags(write=False)
             heads.setflags(write=False)
+            tag_array_version(tails, self._version)
+            tag_array_version(heads, self._version)
             self._uv_view = (tails, heads)
         return self._uv_view
 

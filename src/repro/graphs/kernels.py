@@ -29,8 +29,13 @@ shard outputs are concatenated back in frontier order, the gathered
 ``(origin, neighbor, edge_id)`` sequences — and therefore every
 claim-order tie-break downstream — are *bit-identical* to the serial
 pass; the frontier/visited state is updated only by the coordinating
-thread between levels. The same contract is swept across a seed ×
-generator × shard-count matrix in ``tests/test_parallel_backend.py``.
+thread between levels, and each run keeps a persistent
+:class:`~repro.parallel.plan.BfsShardState` so successive levels reuse
+the previous shard boundaries until frontier mass shifts.
+:func:`multi_source_hop_distances` shards over contiguous *source
+blocks* instead (rows are independent BFS runs, so stacking the block
+results is trivially exact). The same contract is swept across a seed
+× generator × shard-count matrix in ``tests/test_parallel_backend.py``.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, build_csr
 from repro.parallel.config import ParallelConfig, resolve_config
-from repro.parallel.plan import ShardPlan
+from repro.parallel.plan import BfsShardState, ShardPlan
 from repro.parallel.pool import get_pool
 
 __all__ = [
@@ -130,13 +135,17 @@ def _sharded_level_gather(
     config: ParallelConfig,
     worker,
     extra: tuple,
+    state: BfsShardState,
 ) -> list:
     """Run one level's gather over contiguous frontier shards.
 
     Results come back in shard (= frontier) order, so concatenating
-    them reproduces the serial gather sequence exactly.
+    them reproduces the serial gather sequence exactly. ``state`` is
+    the BFS run's persistent shard state: it reuses the previous
+    level's (rescaled) boundaries until frontier mass shifts past its
+    rebalance threshold, instead of re-planning from scratch per level.
     """
-    plan = ShardPlan.for_frontier(csr.indptr, frontier, config.workers)
+    plan = state.plan(csr.indptr, frontier)
     if plan.num_shards <= 1:
         return [worker(csr.indptr, csr.neighbor, csr.edge_id, frontier, *extra)]
     tasks = [
@@ -169,6 +178,7 @@ def bfs_levels(
     """
     config = resolve_config(parallel)
     sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
+    shard_state = BfsShardState(config.workers) if sharded else None
     dist = np.full(csr.num_nodes, -1, dtype=np.int64)
     frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
     dist[frontier] = 0
@@ -176,7 +186,12 @@ def bfs_levels(
     while frontier.size:
         if sharded:
             parts = _sharded_level_gather(
-                csr, frontier, config, _bfs_level_shard, (dist, allowed_edges)
+                csr,
+                frontier,
+                config,
+                _bfs_level_shard,
+                (dist, allowed_edges),
+                shard_state,
             )
             nbrs = parts[0] if len(parts) == 1 else np.concatenate(parts)
         else:
@@ -215,6 +230,7 @@ def bfs_parents(
     """
     config = resolve_config(parallel)
     sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
+    shard_state = BfsShardState(config.workers) if sharded else None
     n = csr.num_nodes
     dist = np.full(n, -1, dtype=np.int64)
     parent = np.full(n, -2, dtype=np.int64)
@@ -226,7 +242,7 @@ def bfs_parents(
     while frontier.size:
         if sharded:
             parts = _sharded_level_gather(
-                csr, frontier, config, _bfs_claim_shard, (dist,)
+                csr, frontier, config, _bfs_claim_shard, (dist,), shard_state
             )
             if len(parts) == 1:
                 origin, nbrs, eids = parts[0]
@@ -251,18 +267,22 @@ def bfs_parents(
     return dist, parent, parent_edge
 
 
-def multi_source_hop_distances(
-    csr: CSRAdjacency, sources: np.ndarray
+def _hop_block_shard(
+    indptr: np.ndarray,
+    neighbor: np.ndarray,
+    edge_id: np.ndarray,
+    sources: np.ndarray,
 ) -> np.ndarray:
-    """Hop distances from each of ``sources``, advanced in lockstep.
+    """Lockstep multi-source BFS for one contiguous source block.
 
-    Returns:
-        ``(len(sources), n)`` int64 matrix, ``-1`` where unreachable.
-        O(len(sources)·m) work, a constant number of NumPy passes per
-        BFS level, O(len(sources)·n) memory — batch the sources to
-        bound memory on large graphs.
+    Each source's BFS is independent of every other source — the
+    lockstep batching exists purely for vectorization — so the
+    ``(len(sources), n)`` block this computes is row-for-row identical
+    to the corresponding rows of the whole-batch evaluation, which is
+    what makes per-source-block sharding bit-exact. Top-level so the
+    worker pools can receive it.
     """
-    n = csr.num_nodes
+    n = len(indptr) - 1
     sources = np.asarray(sources, dtype=np.int64)
     k = len(sources)
     dist = np.full((k, n), -1, dtype=np.int64)
@@ -272,8 +292,8 @@ def multi_source_hop_distances(
     nodes = sources.copy()
     level = 0
     while nodes.size:
-        counts = csr.indptr[nodes + 1] - csr.indptr[nodes]
-        _, nbrs, _ = ragged_rows(csr, nodes)
+        counts = indptr[nodes + 1] - indptr[nodes]
+        _, nbrs, _ = _ragged_arrays(indptr, neighbor, edge_id, nodes)
         keys = np.repeat(src, counts) * n + nbrs
         keys = np.unique(keys[flat[keys] < 0])
         if keys.size == 0:
@@ -284,15 +304,59 @@ def multi_source_hop_distances(
     return dist
 
 
+def multi_source_hop_distances(
+    csr: CSRAdjacency,
+    sources: np.ndarray,
+    parallel: ParallelConfig | None = None,
+) -> np.ndarray:
+    """Hop distances from each of ``sources``, advanced in lockstep.
+
+    Args:
+        csr: Adjacency.
+        sources: Source nodes (one BFS row each; duplicates allowed).
+        parallel: Optional sharded-execution config (``None`` resolves
+            to the ``REPRO_WORKERS`` process default). Sharding splits
+            the batch over contiguous source blocks; rows are
+            independent, so the stacked result is bit-identical to the
+            serial pass.
+
+    Returns:
+        ``(len(sources), n)`` int64 matrix, ``-1`` where unreachable.
+        O(len(sources)·m) work, a constant number of NumPy passes per
+        BFS level, O(len(sources)·n) memory — batch the sources to
+        bound memory on large graphs.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    k = len(sources)
+    config = resolve_config(parallel)
+    if k >= 2 and config.should_shard(
+        k * (csr.num_nodes + len(csr.neighbor))
+    ):
+        plan = ShardPlan.even(k, config.workers)
+        if plan.num_shards > 1:
+            parts = get_pool(config).map(
+                _hop_block_shard,
+                [
+                    (csr.indptr, csr.neighbor, csr.edge_id, sources[lo:hi])
+                    for lo, hi in plan.ranges()
+                ],
+            )
+            return np.concatenate(parts, axis=0)
+    return _hop_block_shard(csr.indptr, csr.neighbor, csr.edge_id, sources)
+
+
 def all_pairs_hop_distances(
-    csr: CSRAdjacency, max_batch_cells: int = 1 << 24
+    csr: CSRAdjacency,
+    max_batch_cells: int = 1 << 24,
+    parallel: ParallelConfig | None = None,
 ) -> np.ndarray:
     """All-pairs hop distances via lockstep BFS over source batches.
 
     Returns:
         ``(n, n)`` int64 matrix, ``-1`` where unreachable. O(n·m) work;
         peak *working* memory beyond the result is bounded by
-        ``max_batch_cells`` matrix cells per batch.
+        ``max_batch_cells`` matrix cells per batch. ``parallel`` is
+        forwarded to :func:`multi_source_hop_distances` per batch.
     """
     n = csr.num_nodes
     batch = max(1, max_batch_cells // max(n, 1))
@@ -300,7 +364,7 @@ def all_pairs_hop_distances(
     for start in range(0, n, batch):
         sources = np.arange(start, min(start + batch, n), dtype=np.int64)
         out[start : start + len(sources)] = multi_source_hop_distances(
-            csr, sources
+            csr, sources, parallel=parallel
         )
     return out
 

@@ -25,6 +25,12 @@ point summation) is unchanged. ``tests/parallel_harness.py`` sweeps a
 seed × generator × shard-count matrix asserting exact equality.
 """
 
+from repro.parallel.arena import (
+    ARENA_BYTE_BUDGET,
+    SharedArena,
+    array_version,
+    tag_array_version,
+)
 from repro.parallel.config import (
     ParallelConfig,
     default_config,
@@ -32,7 +38,7 @@ from repro.parallel.config import (
     set_default_config,
     use_config,
 )
-from repro.parallel.plan import ShardPlan
+from repro.parallel.plan import BfsShardState, ShardPlan
 from repro.parallel.pool import (
     ProcessPool,
     SerialPool,
@@ -43,15 +49,20 @@ from repro.parallel.pool import (
 )
 
 __all__ = [
+    "ARENA_BYTE_BUDGET",
+    "BfsShardState",
     "ParallelConfig",
+    "SharedArena",
     "ShardPlan",
     "WorkerPool",
     "SerialPool",
     "ThreadPool",
     "ProcessPool",
+    "array_version",
     "default_config",
     "resolve_config",
     "set_default_config",
+    "tag_array_version",
     "use_config",
     "get_pool",
     "shutdown_pools",

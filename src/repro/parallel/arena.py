@@ -1,0 +1,313 @@
+"""Persistent cross-call shared-memory arena for the process pool.
+
+PR 4's process backend exported every NumPy argument into POSIX shared
+memory *per* ``map`` call — correct, but in level-synchronous BFS that
+means one export round per level for arrays that never change (the CSR
+``indptr`` / ``neighbor`` / ``edge_id`` triple). This module is the
+ROADMAP follow-on: a **weakref-keyed export cache** that exports an
+ndarray once per lifetime and reuses the segment across ``map`` calls.
+
+Cache contract
+==============
+
+* **Keying.** Entries are keyed by ``(id(array), version)``. ``id``
+  alone is unsafe — CPython reuses addresses — so every entry holds a
+  weak reference to the exporting array and a ``weakref.finalize``
+  that evicts the entry (and unlinks the segment) the moment the array
+  is garbage collected; an entry whose weakref no longer resolves to
+  the requesting array is never served.
+* **Eligibility.** Only **read-only** arrays (``writeable`` flag off)
+  are cached by the pool; writeable arrays (BFS ``dist``, frontier
+  slices, per-call demand vectors) are re-exported per ``map`` call
+  because the caller may mutate them between calls.
+* **Versioning.** Read-only-ness is necessary but not sufficient: a
+  read-only *view* can still see writes through its base buffer
+  (``Graph.set_capacity`` writes through the cached ``capacities()``
+  view). Owners of such views tag them with
+  :func:`tag_array_version` and bump the tag on every write-through /
+  structural mutation — :class:`~repro.graphs.graph.Graph` tags its
+  cached views with its cache-invalidation counter — and the arena
+  re-exports on any version mismatch. Untagged arrays carry version 0,
+  i.e. "immutable by contract" (the CSR arrays).
+* **Lifecycle.** ``export`` creates the segment and registers a
+  ``weakref.finalize`` unlink handler; the finalizer is the *single*
+  owner of the unlink (``weakref.finalize`` guarantees at-most-once
+  across manual eviction, array GC, and interpreter exit, where
+  surviving finalizers run as atexit hooks) — so teardown can never
+  double-unlink and the ``resource_tracker`` never sees a phantom
+  unregister. All unlink paths swallow ``FileNotFoundError`` (segment
+  already gone) and late-shutdown errors.
+* **Residency bound.** Live segments are capped at ``max_bytes``
+  (default :data:`ARENA_BYTE_BUDGET`): crossing the budget evicts the
+  least-recently-used entries first — always safe, the next use just
+  re-exports — but never an entry touched by the map call currently
+  being prepared (the per-map tick), so the cap is soft against a
+  single call's working set and ``/dev/shm`` residency cannot grow
+  with the number of live graphs.
+* **Thread safety.** Arena state is guarded by an ``RLock`` (GC
+  finalizers fire on arbitrary threads), and the owning process pool
+  serializes whole ``map`` calls, so a version-mismatch eviction from
+  one call can never unlink a segment another in-flight ``map`` of the
+  same pool still references. *Within* one call, a version bump racing
+  the payload preparation (a mutator thread writing between two tasks'
+  exports of the same array) is served snapshot-consistently: the
+  already-referenced segment is reused for the rest of the call — its
+  bytes are a legal outcome of the race — and the stale entry is
+  evicted on the next call.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ARENA_BYTE_BUDGET",
+    "SharedArena",
+    "SharedArrayRef",
+    "array_version",
+    "tag_array_version",
+]
+
+#: Default cap on an arena's live shared-memory residency. Soft: a
+#: single map call's working set may exceed it (same-tick entries are
+#: never evicted), but across calls LRU eviction keeps ``/dev/shm``
+#: usage bounded regardless of how many graphs stay alive.
+ARENA_BYTE_BUDGET = 1 << 30
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable descriptor of an array living in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+# ----------------------------------------------------------------------
+# Array version tags (the write-through-view escape hatch)
+# ----------------------------------------------------------------------
+#: id(array) -> (weakref, version). The weakref detects id reuse and
+#: drives cleanup; entries die with their arrays.
+_versions: dict[int, tuple[weakref.ref, int]] = {}
+
+
+def tag_array_version(array: np.ndarray, version: int) -> None:
+    """Tag ``array`` with a data version for the arena's cache key.
+
+    Owners of read-only views whose *underlying buffer* can still be
+    written (e.g. ``Graph.capacities()`` under ``set_capacity``) call
+    this with a counter they bump on every mutation; the arena then
+    re-exports the view whenever the tag moved.
+    """
+    key = id(array)
+    ref = weakref.ref(array, lambda _r, _k=key: _versions.pop(_k, None))
+    _versions[key] = (ref, int(version))
+
+
+def array_version(array: np.ndarray) -> int:
+    """The current version tag of ``array`` (0 when never tagged)."""
+    entry = _versions.get(id(array))
+    if entry is None:
+        return 0
+    ref, version = entry
+    if ref() is not array:  # id reused before the old ref's callback ran
+        _versions.pop(id(array), None)
+        return 0
+    return version
+
+
+# ----------------------------------------------------------------------
+# Segment plumbing
+# ----------------------------------------------------------------------
+def export_segment(array: np.ndarray) -> tuple[SharedArrayRef, Any]:
+    """Copy ``array`` into a fresh shared-memory segment.
+
+    Returns ``(ref, shm)``; the caller owns the segment's lifecycle.
+    """
+    from multiprocessing import shared_memory
+
+    data = np.ascontiguousarray(array)
+    shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+    staged[...] = data
+    ref = SharedArrayRef(name=shm.name, shape=data.shape, dtype=data.dtype.str)
+    return ref, shm
+
+
+def release_segment(shm: Any) -> None:
+    """Close and unlink a segment, tolerating every teardown race.
+
+    ``FileNotFoundError`` (already unlinked) and late-interpreter-
+    shutdown failures (the ``resource_tracker`` machinery may be gone)
+    must never propagate out of a finalizer or an atexit hook.
+    """
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:
+        pass
+
+
+@dataclass
+class _ArenaEntry:
+    ref: SharedArrayRef
+    shm: Any
+    version: int
+    array_ref: weakref.ref
+    finalizer: weakref.finalize
+    nbytes: int
+    last_used: int
+
+
+class SharedArena:
+    """Weakref-keyed cross-call export cache for one process pool.
+
+    ``export`` returns a :class:`SharedArrayRef` for the array, serving
+    the cached segment when the same (still-alive, same-version) array
+    was exported before. Counters:
+
+    Attributes:
+        export_count: Segments actually created (cache misses).
+        reuse_count: Cache hits (an already-exported array served
+            again, across or within ``map`` calls).
+        total_bytes: Live shared-memory residency.
+        max_bytes: Soft residency cap (LRU eviction past it; ``None``
+            disables the budget).
+    """
+
+    def __init__(self, max_bytes: int | None = ARENA_BYTE_BUDGET) -> None:
+        self._entries: dict[int, _ArenaEntry] = {}
+        # RLock: eviction runs an entry's finalize callback, which
+        # re-enters the lock; GC may also fire callbacks on any thread.
+        self._lock = threading.RLock()
+        self._tick = 0
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
+        self.export_count = 0
+        self.reuse_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def segment_names(self) -> list[str]:
+        """The live segment names (test/diagnostic hook)."""
+        with self._lock:
+            return [entry.ref.name for entry in list(self._entries.values())]
+
+    def begin_map(self) -> None:
+        """Mark the start of a ``map`` call: entries exported from here
+        on share the new tick and are exempt from budget eviction for
+        the duration of the call."""
+        with self._lock:
+            self._tick += 1
+
+    def export(self, array: np.ndarray) -> SharedArrayRef:
+        """The shared-memory ref for ``array``, exporting at most once
+        per ``(array lifetime, version)``."""
+        with self._lock:
+            key = id(array)
+            version = array_version(array)
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.array_ref() is array and (
+                    entry.version == version
+                    or entry.last_used == self._tick
+                ):
+                    # Same version — or a version bump racing the map
+                    # call currently being prepared: the entry is
+                    # already referenced by this call's payload, so
+                    # unlinking it would crash the workers' attach.
+                    # Serve the existing segment (the whole call sees
+                    # one consistent snapshot; either race order is
+                    # legal) and leave the stored version stale so the
+                    # *next* call evicts and re-exports.
+                    self.reuse_count += 1
+                    entry.last_used = self._tick
+                    return entry.ref
+                self._evict(key)
+            try:
+                ref, shm = export_segment(array)
+            except OSError:
+                # Shared memory exhausted (/dev/shm is commonly capped
+                # at 64 MB in containers): drop every segment not in
+                # the current call's working set and retry once.
+                self._drain_evictable()
+                ref, shm = export_segment(array)
+            finalizer = weakref.finalize(array, self._on_collect, key, shm)
+            self._entries[key] = _ArenaEntry(
+                ref=ref,
+                shm=shm,
+                version=version,
+                array_ref=weakref.ref(array),
+                finalizer=finalizer,
+                nbytes=int(array.nbytes),
+                last_used=self._tick,
+            )
+            self.export_count += 1
+            self.total_bytes += int(array.nbytes)
+            self._enforce_budget()
+            return ref
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU entries past ``max_bytes`` — never ones touched by
+        the map call currently being prepared (``last_used == tick``),
+        whose refs may already sit in the outgoing payload."""
+        if self.max_bytes is None:
+            return
+        while self.total_bytes > self.max_bytes:
+            # Snapshot first: allocations inside the comprehension can
+            # trigger GC, whose finalize callbacks delete entries on
+            # this very thread (the RLock re-enters).
+            candidates = [
+                (entry.last_used, key)
+                for key, entry in list(self._entries.items())
+                if entry.last_used < self._tick
+            ]
+            if not candidates:
+                break  # soft cap: one call's working set may exceed it
+            self._evict(min(candidates)[1])
+
+    def _drain_evictable(self) -> None:
+        """Evict everything outside the current call's working set
+        (the ENOSPC recovery path)."""
+        with self._lock:
+            for key, entry in list(self._entries.items()):
+                if entry.last_used < self._tick:
+                    self._evict(key)
+
+    def _on_collect(self, key: int, shm: Any) -> None:
+        """Finalizer body: drop the entry (if it is still ours) and
+        unlink the segment."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.shm is shm:
+                del self._entries[key]
+                self.total_bytes -= entry.nbytes
+        release_segment(shm)
+
+    def _evict(self, key: int) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # Calling a finalize object runs it at most once (it
+                # re-enters via _on_collect for the bookkeeping), so
+                # the GC/atexit path can never double-unlink after
+                # this.
+                entry.finalizer()
+
+    def release(self) -> None:
+        """Unlink every cached segment (pool shutdown / tests)."""
+        with self._lock:
+            for key in list(self._entries):
+                self._evict(key)

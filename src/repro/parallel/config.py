@@ -99,9 +99,15 @@ class ParallelConfig:
     def from_env(cls, environ=None) -> "ParallelConfig":
         """Build the config named by ``REPRO_WORKERS`` / ``REPRO_BACKEND``.
 
-        ``REPRO_WORKERS`` unset, empty, or ``1`` yields the serial
-        config. A worker count above 1 defaults the backend to
-        ``thread`` unless ``REPRO_BACKEND`` says otherwise.
+        ``REPRO_WORKERS`` unset or empty yields the serial config; when
+        set it must parse as an integer >= 1 (``1`` means serial). A
+        worker count above 1 defaults the backend to ``thread`` unless
+        ``REPRO_BACKEND`` says otherwise. Garbage never passes
+        silently: a non-integer or non-positive ``REPRO_WORKERS`` and
+        an unrecognized ``REPRO_BACKEND`` (even alongside a serial
+        worker count) raise :class:`~repro.errors.GraphError` naming
+        the offending variable, instead of surfacing as a deep
+        ``ValueError`` — or a silently-serial run — later.
         """
         env = os.environ if environ is None else environ
         raw = (env.get("REPRO_WORKERS") or "").strip()
@@ -109,12 +115,22 @@ class ParallelConfig:
             workers = int(raw) if raw else 1
         except ValueError as exc:
             raise GraphError(
-                f"REPRO_WORKERS must be an integer, got {raw!r}"
+                f"REPRO_WORKERS must be a positive integer, got {raw!r}"
             ) from exc
+        if raw and workers < 1:
+            raise GraphError(
+                f"REPRO_WORKERS must be >= 1, got {raw!r} (unset it or "
+                "use 1 for serial execution)"
+            )
+        raw_backend = (env.get("REPRO_BACKEND") or "").strip().lower()
+        if raw_backend and raw_backend not in BACKENDS:
+            raise GraphError(
+                f"REPRO_BACKEND must be one of {BACKENDS}, got "
+                f"{env.get('REPRO_BACKEND')!r}"
+            )
         if workers <= 1:
             return cls()
-        backend = (env.get("REPRO_BACKEND") or "thread").strip().lower()
-        return cls(workers=workers, backend=backend)
+        return cls(workers=workers, backend=raw_backend or "thread")
 
 
 _default: ParallelConfig | None = None

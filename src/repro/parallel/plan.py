@@ -13,6 +13,15 @@ A :class:`ShardPlan` is just the boundary array of such a partition,
 balanced either by item count (:meth:`ShardPlan.even`) or by a
 per-item weight such as CSR degrees (:meth:`ShardPlan.balanced`), so
 no worker is handed a degenerate share of the work.
+
+Level-synchronous kernels (frontier BFS) additionally keep a
+:class:`BfsShardState` across levels: re-planning from scratch every
+level pays a cumsum + searchsorted per frontier even when the degree
+mass barely moved, so the state reuses the previous boundaries —
+rescaled to the new frontier — until the measured per-shard imbalance
+drifts past a threshold. Shard boundaries are pure scheduling (outputs
+concatenate in frontier order regardless of where the cuts fall), so
+reuse can never change a result bit.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ShardPlan"]
+__all__ = ["BfsShardState", "ShardPlan"]
 
 
 @dataclass(frozen=True)
@@ -107,3 +116,73 @@ class ShardPlan:
         return cls.balanced(
             indptr[frontier + 1] - indptr[frontier], num_shards
         )
+
+
+class BfsShardState:
+    """Persistent per-level frontier shard state for one BFS run.
+
+    :meth:`plan` serves the shard plan for each successive frontier.
+    After a full degree-balanced plan, the boundary positions are kept
+    as *fractions* of the frontier length; the next level reuses them
+    (rescaled) as long as the resulting per-shard degree masses stay
+    within ``rebalance_ratio`` of their mean — one ``reduceat`` instead
+    of the cumsum + searchsorted + dedup of a fresh
+    :meth:`ShardPlan.balanced`. When frontier mass shifts past the
+    threshold (or the rescaled boundaries collapse shards), the full
+    plan runs again and the fractions reset.
+
+    Plan choice never affects results — shard outputs concatenate back
+    in frontier order whatever the boundaries — so the reuse heuristic
+    is exclusively a scheduling decision (the cross-shard harness
+    sweeps BFS bit-identity over sharded configs regardless).
+
+    Attributes:
+        rebalances: Full degree-balanced plans computed (diagnostics).
+        reuses: Levels served by rescaled previous boundaries.
+    """
+
+    __slots__ = (
+        "num_shards",
+        "rebalance_ratio",
+        "_fractions",
+        "rebalances",
+        "reuses",
+    )
+
+    def __init__(self, num_shards: int, rebalance_ratio: float = 1.5) -> None:
+        self.num_shards = max(1, int(num_shards))
+        self.rebalance_ratio = float(rebalance_ratio)
+        self._fractions: np.ndarray | None = None
+        self.rebalances = 0
+        self.reuses = 0
+
+    def plan(self, indptr: np.ndarray, frontier: np.ndarray) -> ShardPlan:
+        """The shard plan for this level's frontier."""
+        total = len(frontier)
+        if total <= 0:
+            return ShardPlan(bounds=np.zeros(1, dtype=np.int64))
+        if self._fractions is not None and total >= self.num_shards:
+            raw = (self._fractions * total).astype(np.int64)
+            bounds = np.unique(np.concatenate(([0], raw, [total])))
+            if len(bounds) - 1 == self.num_shards:
+                degrees = indptr[frontier + 1] - indptr[frontier]
+                masses = np.add.reduceat(
+                    np.asarray(degrees, dtype=np.float64), bounds[:-1]
+                )
+                mean = float(masses.sum()) / len(masses)
+                if mean <= 0 or float(masses.max()) <= (
+                    self.rebalance_ratio * mean
+                ):
+                    self.reuses += 1
+                    return ShardPlan(bounds=bounds)
+        plan = ShardPlan.for_frontier(indptr, frontier, self.num_shards)
+        if plan.num_shards == self.num_shards and plan.total > 0:
+            self._fractions = (
+                plan.bounds[1:-1].astype(np.float64) / plan.total
+            )
+        else:
+            # Clamped / degenerate plan: don't lock future levels into
+            # fewer shards than requested.
+            self._fractions = None
+        self.rebalances += 1
+        return plan

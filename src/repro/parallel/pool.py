@@ -17,32 +17,45 @@ Backends:
   genuinely overlap on multi-core hosts, and arrays are shared by
   reference (no copies).
 * :class:`ProcessPool` — a persistent fork-context
-  ``multiprocessing.Pool``. NumPy array arguments are exported once
-  per ``map`` call into POSIX shared memory
-  (:class:`multiprocessing.shared_memory.SharedMemory`) and workers
-  receive zero-copy **read-only views**; only scalar arguments and the
-  (typically small) result arrays cross the pickle boundary. Export
-  granularity is per ``map`` call: kernels that loop over many small
-  ``map`` rounds (level-synchronous BFS) re-export their invariant
-  arrays each round, so the process backend suits few-round /
-  large-shard work — a weakref-keyed cross-call export cache is the
-  ROADMAP follow-on.
+  ``multiprocessing.Pool``. NumPy array arguments are exported into
+  POSIX shared memory (:class:`multiprocessing.shared_memory.
+  SharedMemory`) and workers receive zero-copy **read-only views**;
+  only scalar arguments and the (typically small) result arrays cross
+  the pickle boundary. Export granularity is two-tier: **read-only**
+  arrays go through the pool's persistent
+  :class:`~repro.parallel.arena.SharedArena` — exported once per array
+  lifetime and reused across ``map`` calls (level-synchronous BFS pays
+  one CSR export per *run*, not per level) — while writeable arrays
+  (``dist`` state, frontier slices, demand vectors) are re-exported
+  per call because the caller may mutate them in between. Requires the
+  ``fork`` start method; platforms without it degrade to the thread
+  pool with a one-time warning (see :func:`get_pool`).
 
 Pools are cached per ``(backend, workers)`` by :func:`get_pool` and
 shut down at interpreter exit (or explicitly via
 :func:`shutdown_pools`, which the test-suite does between backends).
+Shutdown robustness: every shared-memory segment's unlink is owned by
+a ``weakref.finalize`` handler (at-most-once across manual release,
+array GC, and interpreter exit), so abnormal teardown orders can
+neither leak segments nor trip ``resource_tracker`` KeyError warnings.
 """
 
 from __future__ import annotations
 
 import atexit
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.errors import GraphError
+from repro.parallel.arena import (
+    SharedArena,
+    SharedArrayRef,
+    export_segment,
+    release_segment,
+)
 from repro.parallel.config import ParallelConfig
 
 __all__ = [
@@ -98,16 +111,7 @@ class ThreadPool(WorkerPool):
 # ----------------------------------------------------------------------
 # Process pool with shared-memory NumPy views
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class _SharedArrayRef:
-    """Picklable descriptor of an array living in shared memory."""
-
-    name: str
-    shape: tuple[int, ...]
-    dtype: str
-
-
-def _attach_shared(ref: _SharedArrayRef):
+def _attach_shared(ref: SharedArrayRef):
     """Attach a read-only view to a shared-memory array (worker side).
 
     The parent owns the segment lifecycle (create → map → unlink), and
@@ -151,7 +155,7 @@ def _process_invoke(payload: tuple) -> Any:
     resolved = []
     try:
         for arg in args:
-            if isinstance(arg, _SharedArrayRef):
+            if isinstance(arg, SharedArrayRef):
                 shm, view = _attach_shared(arg)
                 segments.append(shm)
                 resolved.append(view)
@@ -170,66 +174,105 @@ class ProcessPool(WorkerPool):
 
     def __init__(self, workers: int) -> None:
         import multiprocessing
+        import threading
 
         self._workers = workers
         self._context = multiprocessing.get_context("fork")
         self._pool = self._context.Pool(processes=workers)
-
-    def _export(self, array: np.ndarray):
-        from multiprocessing import shared_memory
-
-        data = np.ascontiguousarray(array)
-        shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
-        staged = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
-        staged[...] = data
-        ref = _SharedArrayRef(
-            name=shm.name, shape=data.shape, dtype=data.dtype.str
-        )
-        return ref, shm
+        self._arena = SharedArena()
+        # Whole map calls are serialized per pool: an arena eviction
+        # (version bump, budget) happens only inside an export, i.e.
+        # inside this lock, so it can never unlink a segment that a
+        # concurrent in-flight map of this pool is still about to
+        # attach. Shard parallelism is unaffected — the lock gates
+        # callers, not workers.
+        self._map_lock = threading.Lock()
 
     def map(self, fn: Callable[..., Any], tasks: Sequence[tuple]) -> list[Any]:
-        exported: dict[int, tuple[_SharedArrayRef, Any]] = {}
-        keepalive: list[np.ndarray] = []  # pin ids for the dedup dict
+        transient: dict[int, tuple[SharedArrayRef, Any]] = {}
+        keepalive: list[np.ndarray] = []  # pin ids for the dedup dicts
         payloads = []
-        try:
-            for args in tasks:
-                prepared = []
-                for arg in args:
-                    if isinstance(arg, np.ndarray) and arg.nbytes > 0:
-                        key = id(arg)
-                        if key not in exported:
-                            exported[key] = self._export(arg)
+        with self._map_lock:
+            self._arena.begin_map()
+            try:
+                for args in tasks:
+                    prepared = []
+                    for arg in args:
+                        if isinstance(arg, np.ndarray) and arg.nbytes > 0:
                             keepalive.append(arg)
-                        prepared.append(exported[key][0])
-                    else:
-                        prepared.append(arg)
-                payloads.append((fn, prepared))
-            return self._pool.map(_process_invoke, payloads)
-        finally:
-            for _, shm in exported.values():
-                shm.close()
-                shm.unlink()
-            del keepalive
+                            if not arg.flags.writeable:
+                                # Invariant input: the persistent arena
+                                # exports it at most once per lifetime
+                                # (or per version tag) and reuses the
+                                # segment across map calls.
+                                prepared.append(self._arena.export(arg))
+                            else:
+                                key = id(arg)
+                                if key not in transient:
+                                    transient[key] = export_segment(arg)
+                                prepared.append(transient[key][0])
+                        else:
+                            prepared.append(arg)
+                    payloads.append((fn, prepared))
+                return self._pool.map(_process_invoke, payloads)
+            finally:
+                for _, shm in transient.values():
+                    release_segment(shm)
+                del keepalive
 
     def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
+        with self._map_lock:
+            self._arena.release()
+            self._pool.terminate()
+            self._pool.join()
 
 
+# ----------------------------------------------------------------------
+# Pool selection
+# ----------------------------------------------------------------------
 _POOLS: dict[tuple[str, int], WorkerPool] = {}
 _SERIAL = SerialPool()
+_FORK_WARNING = [False]
+
+
+def _fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method (tests
+    monkeypatch this probe to simulate fork-less platforms)."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _effective_backend(backend: str) -> str:
+    """Degrade ``process`` to ``thread`` where ``fork`` is unavailable,
+    warning once per session (never crash — the determinism contract
+    makes the backends interchangeable for results)."""
+    if backend == "process" and not _fork_available():
+        if not _FORK_WARNING[0]:
+            _FORK_WARNING[0] = True
+            warnings.warn(
+                "the 'process' parallel backend requires the fork start "
+                "method, which this platform does not provide; degrading "
+                "to the 'thread' backend (results are identical by the "
+                "determinism contract)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "thread"
+    return backend
 
 
 def get_pool(config: ParallelConfig) -> WorkerPool:
     """The cached pool for a config (created lazily, reused forever)."""
     if config.backend == "serial" or config.workers <= 1:
         return _SERIAL
-    key = (config.backend, config.workers)
+    backend = _effective_backend(config.backend)
+    key = (backend, config.workers)
     pool = _POOLS.get(key)
     if pool is None:
-        if config.backend == "thread":
+        if backend == "thread":
             pool = ThreadPool(config.workers)
-        elif config.backend == "process":
+        elif backend == "process":
             pool = ProcessPool(config.workers)
         else:  # pragma: no cover - config validates backends
             raise GraphError(f"unknown parallel backend {config.backend!r}")

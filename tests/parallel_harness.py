@@ -23,6 +23,7 @@ from repro.graphs import kernels
 from repro.graphs.csr import INDEX_DTYPE, build_csr
 from repro.graphs.generators import grid, random_connected, torus
 from repro.graphs.graph import Graph
+from repro.jtree.mwu import mwu_lengths
 from repro.parallel import ParallelConfig, use_config
 
 #: The standard sweep axes. Shard counts deliberately include a value
@@ -130,6 +131,61 @@ def assert_bfs_equivalent(graph: Graph, config: ParallelConfig) -> None:
     ):
         assert_arrays_identical(f"bfs_parents.{part}", expected, actual)
     assert_cache_invariants(graph)
+
+
+def assert_hop_distances_equivalent(
+    graph: Graph, config: ParallelConfig
+) -> None:
+    """Sharded multi-source lockstep BFS == serial, row for row."""
+    csr = graph.csr()
+    step = max(1, graph.num_nodes // 12)
+    sources = np.arange(0, graph.num_nodes, step, dtype=np.int64)
+    assert_arrays_identical(
+        "multi_source_hop_distances",
+        kernels.multi_source_hop_distances(csr, sources),
+        kernels.multi_source_hop_distances(csr, sources, parallel=config),
+    )
+    # Duplicates and unordered sources keep the per-row independence
+    # argument honest (blocks must not interact).
+    mixed = np.array(
+        [graph.num_nodes - 1, 0, graph.num_nodes // 2, 0], dtype=np.int64
+    )
+    assert_arrays_identical(
+        "multi_source_hop_distances[mixed]",
+        kernels.multi_source_hop_distances(csr, mixed),
+        kernels.multi_source_hop_distances(csr, mixed, parallel=config),
+    )
+    assert_cache_invariants(graph)
+
+
+def assert_mwu_lengths_equivalent(
+    graph: Graph, config: ParallelConfig, seed: int
+) -> None:
+    """Sharded stacked MWU length evaluation == serial, bit for bit."""
+    caps = graph.capacities()
+    rng = np.random.default_rng(seed)
+    # Potentials straddling MAX_EXPONENT exercise the clamp branch.
+    stack = rng.uniform(0.0, 60.0, size=(9, graph.num_edges))
+    serial = mwu_lengths(stack, caps)
+    assert_arrays_identical(
+        "mwu_lengths[stacked]",
+        serial,
+        mwu_lengths(stack, caps, parallel=config),
+    )
+    # Stacked rows must equal the single-vector evaluation per row
+    # (the batched-hierarchy contract the sharding must preserve).
+    for row in (0, len(stack) - 1):
+        assert_arrays_identical(
+            f"mwu_lengths[row {row}]",
+            mwu_lengths(stack[row], caps),
+            serial[row],
+        )
+    single = rng.uniform(0.0, 50.0, size=graph.num_edges)
+    assert_arrays_identical(
+        "mwu_lengths[single]",
+        mwu_lengths(single, caps),
+        mwu_lengths(single, caps, parallel=config),
+    )
 
 
 def assert_csr_build_equivalent(graph: Graph, config: ParallelConfig) -> None:

@@ -1,0 +1,469 @@
+"""Persistent shared-memory arena: export-once accounting, (id, version)
+staleness keying, segment lifecycle, and teardown hygiene.
+
+The arena (``repro/parallel/arena.py``) is the process pool's cross-call
+export cache: read-only ndarray arguments are copied into POSIX shared
+memory once per array lifetime and the segment is reused across ``map``
+calls — level-synchronous BFS pays one CSR export per *run* instead of
+one per level. These tests pin the cache's three hazards:
+
+* **accounting** — each invariant array is exported exactly once across
+  a multi-level run (and re-used thereafter);
+* **staleness** — mutating a :class:`~repro.graphs.graph.Graph` between
+  ``map`` calls (``add_edge`` structural, ``set_capacity`` write-through)
+  must never serve pre-mutation bytes (the ``(id, version)`` key);
+* **lifecycle** — segments are unlinked on array GC, pool shutdown, and
+  interpreter exit, with no ``resource_tracker`` warnings (subprocess
+  regression for the atexit-ordering leak).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import subprocess
+import sys
+import textwrap
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs import kernels
+from repro.graphs.graph import Graph
+from repro.jtree.mwu import mwu_lengths
+from repro.parallel import (
+    ParallelConfig,
+    SharedArena,
+    array_version,
+    get_pool,
+    shutdown_pools,
+    tag_array_version,
+)
+from repro.parallel import arena as arena_module
+from repro.parallel.pool import _fork_available
+
+from parallel_harness import assert_arrays_identical, make_graph
+
+pytestmark = pytest.mark.skipif(
+    not _fork_available(), reason="process backend requires fork"
+)
+
+
+def _process_config(workers: int = 2) -> ParallelConfig:
+    return ParallelConfig(workers=workers, backend="process", min_size=0)
+
+
+@pytest.fixture()
+def process_pool():
+    """A fresh process pool (empty arena), drained afterwards."""
+    shutdown_pools()
+    pool = get_pool(_process_config())
+    yield pool
+    shutdown_pools()
+
+
+def _array_sum(arr: np.ndarray) -> float:
+    """Top-level worker: the shared-memory bytes the worker actually
+    sees (stale-segment bugs surface as a wrong sum)."""
+    return float(np.asarray(arr).sum())
+
+
+# ----------------------------------------------------------------------
+# Export-once accounting (acceptance: instrumentation test)
+# ----------------------------------------------------------------------
+class TestExportAccounting:
+    def test_csr_arrays_export_once_across_bfs_levels(self, process_pool):
+        """A multi-level sharded ``bfs_levels`` run exports the three
+        invariant CSR arrays exactly once — before the arena it paid
+        one export round per level."""
+        graph = make_graph("grid", 101)
+        csr = graph.csr()
+        config = _process_config()
+        serial = kernels.bfs_levels(csr, 0)
+        assert int(serial.max()) >= 4  # genuinely multi-level
+        sharded = kernels.bfs_levels(csr, 0, parallel=config)
+        assert_arrays_identical("bfs_levels", serial, sharded)
+        arena = process_pool._arena
+        # indptr + neighbor + edge_id, one segment each; the mutable
+        # dist / frontier arrays go through the per-call transient path
+        # and never enter the arena.
+        assert arena.export_count == 3
+        assert len(arena) == 3
+        assert arena.reuse_count > 0
+
+    def test_repeat_runs_and_kernels_share_the_segments(self, process_pool):
+        graph = make_graph("grid", 101)
+        csr = graph.csr()
+        config = _process_config()
+        kernels.bfs_levels(csr, 0, parallel=config)
+        arena = process_pool._arena
+        assert arena.export_count == 3
+        # Second BFS run, then a parent BFS, then multi-source hop
+        # distances: all consume the same three CSR arrays and none may
+        # export again.
+        kernels.bfs_levels(csr, 0, parallel=config)
+        kernels.bfs_parents(csr, root=1, parallel=config)
+        sources = np.arange(0, graph.num_nodes, 7, dtype=np.int64)
+        a = kernels.multi_source_hop_distances(csr, sources)
+        b = kernels.multi_source_hop_distances(csr, sources, parallel=config)
+        assert_arrays_identical("hop_distances", a, b)
+        assert arena.export_count == 3
+
+    def test_writeable_arrays_never_enter_the_arena(self, process_pool):
+        buf = np.arange(64, dtype=np.float64)
+        assert process_pool.map(_array_sum, [(buf,)]) == [float(buf.sum())]
+        assert process_pool._arena.export_count == 0
+        # In-place mutation is honored on the very next call (the
+        # transient per-map export the arena deliberately leaves alone).
+        buf[0] = 1000.0
+        assert process_pool.map(_array_sum, [(buf,)]) == [float(buf.sum())]
+
+
+# ----------------------------------------------------------------------
+# Staleness: (id, version) keying (satellite regression tests)
+# ----------------------------------------------------------------------
+class TestStaleness:
+    def test_add_edge_between_maps_is_not_stale(self, process_pool):
+        """Mirror of ``tests/test_csr.py``'s cache-staleness pattern:
+        a structural mutation between sharded runs must re-derive and
+        re-export, never serve the pre-mutation CSR segment."""
+        graph = make_graph("random", 101)
+        config = _process_config()
+        kernels.bfs_levels(graph.csr(), 0, parallel=config)
+        exports_before = process_pool._arena.export_count
+        assert exports_before == 3
+        graph.add_edge(0, graph.num_nodes - 1, 2.0)
+        fresh_serial = kernels.bfs_levels(graph.csr(), 0)
+        sharded = kernels.bfs_levels(graph.csr(), 0, parallel=config)
+        assert_arrays_identical("post-mutation bfs", fresh_serial, sharded)
+        # The rebuilt CSR arrays are new exports; the stale trio was
+        # evicted when the old arrays were collected.
+        assert process_pool._arena.export_count == exports_before + 3
+
+    def test_set_capacity_bumps_the_version_and_reexports(
+        self, process_pool
+    ):
+        """``set_capacity`` writes through the cached read-only
+        ``capacities()`` view without replacing the object — exactly
+        the case ``id``-only keying would serve stale bytes for."""
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+        caps = graph.capacities()
+        assert process_pool.map(_array_sum, [(caps,)]) == [7.0]
+        assert process_pool._arena.export_count == 1
+        graph.set_capacity(0, 10.0)
+        assert graph.capacities() is caps  # same object, new bytes
+        assert process_pool.map(_array_sum, [(caps,)]) == [16.0]
+        assert process_pool._arena.export_count == 2
+        # Unchanged afterwards: the re-export is cached again.
+        assert process_pool.map(_array_sum, [(caps,)]) == [16.0]
+        assert process_pool._arena.export_count == 2
+
+    def test_version_tag_roundtrip(self):
+        array = np.arange(5)
+        assert array_version(array) == 0
+        tag_array_version(array, 7)
+        assert array_version(array) == 7
+        tag_array_version(array, 8)
+        assert array_version(array) == 8
+
+    def test_version_registry_drops_collected_arrays(self):
+        before = len(arena_module._versions)
+        array = np.arange(5)
+        tag_array_version(array, 1)
+        assert len(arena_module._versions) == before + 1
+        del array
+        gc.collect()
+        assert len(arena_module._versions) == before
+
+    def test_graph_views_carry_the_invalidation_counter(self):
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        caps = graph.capacities()
+        v0 = array_version(caps)
+        assert v0 > 0
+        graph.set_capacity(0, 5.0)
+        assert array_version(caps) > v0
+        tails, heads = graph.edge_index_arrays()
+        assert array_version(tails) > 0
+        assert array_version(heads) > 0
+
+    def test_outstanding_old_capacity_view_is_retagged(self, process_pool):
+        """A capacities() view from an *earlier* invalidation epoch can
+        still alias the live buffer (no regrow in between); a later
+        ``set_capacity`` must advance its tag too, or the arena serves
+        the pre-write bytes through the old view."""
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+        caps = graph.capacities()
+        assert process_pool.map(_array_sum, [(caps,)]) == [7.0]
+        graph.add_edge(1, 2, 8.0)  # drops the cached view, keeps `caps`
+        graph.set_capacity(0, 10.0)  # writes through the shared buffer
+        assert caps[0] == 10.0  # the old view sees the write...
+        assert process_pool.map(_array_sum, [(caps,)]) == [16.0]  # ...and so must workers
+
+    def test_version_bump_mid_map_serves_one_snapshot(self):
+        """A version bump *between two exports of the same map call*
+        (a mutator racing the payload preparation) must not unlink the
+        segment already referenced by the call's payload: the call is
+        served one consistent snapshot and the next call re-exports."""
+        arena = SharedArena()
+        array = np.full(4, 2.0)
+        array.setflags(write=False)
+        arena.begin_map()
+        ref = arena.export(array)
+        tag_array_version(array, 99)  # the racing mutation
+        assert arena.export(array) is ref  # same call: snapshot held
+        assert arena.export_count == 1 and arena.reuse_count == 1
+        arena.begin_map()
+        fresh = arena.export(array)  # next call: stale entry evicted
+        assert fresh.name != ref.name
+        assert arena.export_count == 2
+        arena.release()
+
+    def test_shm_exhaustion_evicts_and_retries(self, monkeypatch):
+        """ENOSPC on segment creation (tiny /dev/shm) drops every
+        segment outside the current call's working set and retries."""
+        arena = SharedArena()
+        old = np.arange(64, dtype=np.float64)
+        old.setflags(write=False)
+        arena.begin_map()
+        arena.export(old)
+        real_export = arena_module.export_segment
+        failures = [1]
+
+        def flaky_export(array):
+            if failures:
+                failures.pop()
+                raise OSError(28, "No space left on device")
+            return real_export(array)
+
+        monkeypatch.setattr(arena_module, "export_segment", flaky_export)
+        new = np.arange(64, dtype=np.float64) + 1
+        new.setflags(write=False)
+        arena.begin_map()
+        ref = arena.export(new)  # first attempt fails, retry succeeds
+        assert ref.shape == (64,)
+        assert len(arena) == 1  # `old` was drained to make room
+        arena.release()
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_array_gc_unlinks_the_segment(self):
+        from multiprocessing import shared_memory
+
+        arena = SharedArena()
+        array = np.arange(256, dtype=np.float64)
+        array.setflags(write=False)
+        ref = arena.export(array)
+        assert arena.export(array) is ref  # cached
+        assert arena.export_count == 1 and arena.reuse_count == 1
+        name = ref.name
+        del array
+        gc.collect()
+        assert len(arena) == 0
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_shutdown_unlinks_every_segment(self, process_pool):
+        from multiprocessing import shared_memory
+
+        graph = make_graph("grid", 202)
+        kernels.bfs_levels(graph.csr(), 0, parallel=_process_config())
+        names = process_pool._arena.segment_names()
+        assert len(names) == 3
+        shutdown_pools()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_release_is_idempotent(self):
+        arena = SharedArena()
+        array = np.arange(16, dtype=np.float64)
+        array.setflags(write=False)
+        arena.export(array)
+        arena.release()
+        arena.release()  # second release (and the GC finalizer later)
+        assert len(arena) == 0
+
+
+# ----------------------------------------------------------------------
+# Residency budget (LRU eviction keeps /dev/shm bounded)
+# ----------------------------------------------------------------------
+class TestByteBudget:
+    @staticmethod
+    def _frozen(n: int, fill: float) -> np.ndarray:
+        array = np.full(n, fill, dtype=np.float64)
+        array.setflags(write=False)
+        return array
+
+    def test_lru_eviction_bounds_residency(self):
+        # Room for three 100-element float64 arrays, not four.
+        arena = SharedArena(max_bytes=3 * 800)
+        arrays = [self._frozen(100, float(i)) for i in range(5)]
+        for array in arrays:
+            arena.begin_map()
+            arena.export(array)
+        assert arena.total_bytes <= arena.max_bytes
+        assert len(arena) == 3
+        # The survivors are the most recently used; the evicted ones
+        # simply re-export on next touch (correctness never depends on
+        # residency).
+        live = set(arena.segment_names())
+        arena.begin_map()
+        ref0 = arena.export(arrays[0])
+        assert ref0.name not in live  # was evicted, fresh segment
+        assert arena.export_count == 6
+
+    def test_current_map_working_set_is_never_evicted(self):
+        # Budget below a single map call's working set: the cap goes
+        # soft instead of evicting refs already in the outgoing
+        # payload.
+        arena = SharedArena(max_bytes=800)
+        arena.begin_map()
+        first = self._frozen(100, 1.0)
+        second = self._frozen(100, 2.0)
+        ref_a = arena.export(first)
+        arena.export(second)
+        assert len(arena) == 2  # over budget, same tick — both kept
+        assert arena.total_bytes == 1600
+        # Same-call reuse still serves the original segment.
+        assert arena.export(first) is ref_a
+
+    def test_budget_disabled_with_none(self):
+        arena = SharedArena(max_bytes=None)
+        arrays = [self._frozen(100, float(i)) for i in range(4)]
+        for array in arrays:
+            arena.begin_map()
+            arena.export(array)
+        assert len(arena) == 4
+        arena.release()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: maps racing mutations must serialize, not crash
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_maps_with_version_bumps_do_not_crash(
+        self, process_pool
+    ):
+        """Threads hammer ``map`` on one shared capacities view while
+        another thread bumps its version via ``set_capacity``: every
+        map must see a *consistent* segment (the whole-call lock keeps
+        a version-mismatch eviction from unlinking a segment an
+        in-flight map is about to attach)."""
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+        caps = graph.capacities()
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                graph.set_capacity(0, 1.0 + (i % 5))
+                i += 1
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            with ThreadPoolExecutor(max_workers=4) as executor:
+                # Multi-task payloads matter: the same view is exported
+                # once per task, so a version bump landing between two
+                # exports of one call exercises the snapshot rule.
+                futures = [
+                    executor.submit(
+                        process_pool.map, _array_sum, [(caps,), (caps,)]
+                    )
+                    for _ in range(24)
+                ]
+                results = [future.result() for future in futures]
+        finally:
+            stop.set()
+            mutator.join()
+        for pair in results:
+            # Each result is the sum under *some* capacity version:
+            # base 2 + 4 plus a first-edge value in {1..5} — and both
+            # tasks of a call see the same snapshot.
+            assert 7.0 <= pair[0] <= 11.0
+            assert pair[0] == pair[1]
+
+
+# ----------------------------------------------------------------------
+# Interpreter-exit hygiene (satellite: subprocess regression)
+# ----------------------------------------------------------------------
+class TestTeardownHygiene:
+    def test_interpreter_exit_leaves_no_tracker_warnings(self):
+        """Exit with live arena segments and *no* explicit shutdown:
+        the finalize-owned unlink handlers must run at exit, so the
+        resource tracker sees neither leaked segments nor phantom
+        unregisters (the KeyError it warns about)."""
+        script = textwrap.dedent(
+            """
+            from repro.graphs import kernels
+            from repro.graphs.generators import grid
+            from repro.parallel import ParallelConfig
+
+            config = ParallelConfig(workers=2, backend="process", min_size=0)
+            graph = grid(9, 9, rng=902)
+            dist = kernels.bfs_levels(graph.csr(), 0, parallel=config)
+            assert int(dist.max()) >= 4
+            print("RUN-OK")
+            # fall off the end: atexit owns pool + segment teardown
+            """
+        )
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        src = str(repo_root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RUN-OK" in proc.stdout
+        for needle in ("resource_tracker", "leaked", "KeyError", "Traceback"):
+            assert needle not in proc.stderr, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# End-to-end: stacked MWU lengths ride the arena too
+# ----------------------------------------------------------------------
+def test_mwu_capacities_ride_the_arena(process_pool):
+    graph = make_graph("random", 303)
+    caps = graph.capacities()
+    config = _process_config()
+    rng = np.random.default_rng(303)
+    stack = rng.uniform(0.0, 60.0, size=(8, graph.num_edges))
+    serial = mwu_lengths(stack, caps)
+    assert_arrays_identical(
+        "mwu_lengths", serial, mwu_lengths(stack, caps, parallel=config)
+    )
+    exports = process_pool._arena.export_count
+    assert exports >= 1  # the read-only capacities view persists
+    mwu_lengths(stack, caps, parallel=config)
+    assert process_pool._arena.export_count == exports
+
+
+def test_mwu_default_threshold_spares_small_stacks(process_pool):
+    """Under the *default* min_size a small stacked evaluation (the
+    elementwise exp is ~a millisecond even at n=4096 scales) must not
+    pay pool dispatch: the elementwise work divisor keeps it serial."""
+    graph = make_graph("random", 101)
+    caps = graph.capacities()
+    stack = np.random.default_rng(1).uniform(
+        0.0, 60.0, size=(9, graph.num_edges)
+    )
+    config = ParallelConfig(workers=2, backend="process")  # default min_size
+    result = mwu_lengths(stack, caps, parallel=config)
+    assert_arrays_identical("mwu_lengths[default]", mwu_lengths(stack, caps), result)
+    assert process_pool._arena.export_count == 0  # never dispatched

@@ -11,6 +11,8 @@ machinery itself, including the fork + shared-memory process backend.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -22,13 +24,16 @@ from repro.graphs import kernels
 from repro.graphs.generators import random_connected
 from repro.graphs.graph import SMALL_GRAPH_LIMIT
 from repro.parallel import (
+    BfsShardState,
     ParallelConfig,
     ShardPlan,
     default_config,
+    get_pool,
     set_default_config,
     shutdown_pools,
     use_config,
 )
+from repro.parallel import pool as pool_module
 from repro.parallel.config import DEFAULT_MIN_SIZE
 
 from parallel_harness import (
@@ -41,6 +46,8 @@ from parallel_harness import (
     assert_cache_invariants,
     assert_contract_equivalent,
     assert_csr_build_equivalent,
+    assert_hop_distances_equivalent,
+    assert_mwu_lengths_equivalent,
     assert_operator_equivalent,
     build_test_approximator,
     forced,
@@ -106,6 +113,63 @@ class TestShardPlan:
 
 
 # ----------------------------------------------------------------------
+# BfsShardState (tentpole: persistent per-level frontier shards)
+# ----------------------------------------------------------------------
+class TestBfsShardState:
+    @staticmethod
+    def _indptr_from_degrees(degrees) -> np.ndarray:
+        return np.concatenate(
+            ([0], np.cumsum(np.asarray(degrees, dtype=np.int64)))
+        )
+
+    def test_reuses_boundaries_while_mass_stays_balanced(self):
+        indptr = self._indptr_from_degrees([4] * 64)
+        frontier = np.arange(64, dtype=np.int64)
+        state = BfsShardState(4)
+        first = state.plan(indptr, frontier)
+        assert (state.rebalances, state.reuses) == (1, 0)
+        again = state.plan(indptr, frontier)
+        assert (state.rebalances, state.reuses) == (1, 1)
+        assert np.array_equal(first.bounds, again.bounds)
+        # A differently-sized but still-uniform frontier reuses the
+        # rescaled fractions too.
+        rescaled = state.plan(indptr, np.arange(32, dtype=np.int64))
+        assert state.reuses == 2
+        assert rescaled.total == 32
+
+    def test_rebalances_when_mass_shifts(self):
+        state = BfsShardState(2, rebalance_ratio=1.5)
+        uniform = self._indptr_from_degrees([4] * 32)
+        frontier = np.arange(32, dtype=np.int64)
+        state.plan(uniform, frontier)
+        # Same frontier, but now one node carries almost all the mass:
+        # the even split's first shard has ~32x the mean.
+        skewed = self._indptr_from_degrees([400] + [1] * 31)
+        plan = state.plan(skewed, frontier)
+        assert state.rebalances == 2
+        # The fresh degree-balanced plan isolates the heavy node.
+        assert plan.ranges()[0] == (0, 1)
+
+    def test_plans_cover_and_stay_contiguous(self):
+        rng = np.random.default_rng(7)
+        state = BfsShardState(3)
+        indptr = self._indptr_from_degrees(rng.integers(1, 9, size=200))
+        for size in (200, 50, 3, 1, 120):
+            frontier = np.arange(size, dtype=np.int64)
+            ranges = state.plan(indptr, frontier).ranges()
+            assert ranges[0][0] == 0 and ranges[-1][1] == size
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_clamped_plan_does_not_pin_future_levels(self):
+        state = BfsShardState(4)
+        indptr = self._indptr_from_degrees([2] * 64)
+        assert state.plan(indptr, np.arange(2, dtype=np.int64)).num_shards == 2
+        # The next full-width frontier gets the full shard count back.
+        assert state.plan(indptr, np.arange(64, dtype=np.int64)).num_shards == 4
+
+
+# ----------------------------------------------------------------------
 # ParallelConfig
 # ----------------------------------------------------------------------
 class TestParallelConfig:
@@ -139,6 +203,31 @@ class TestParallelConfig:
         assert config.backend == "serial"
         with pytest.raises(GraphError):
             ParallelConfig.from_env({"REPRO_WORKERS": "many"})
+
+    def test_from_env_rejects_garbage(self):
+        """Satellite: REPRO_* garbage fails loudly at resolution time
+        (a GraphError naming the variable), never silently-serial and
+        never a deep ValueError."""
+        for env in (
+            {"REPRO_WORKERS": "abc"},
+            {"REPRO_WORKERS": "0"},
+            {"REPRO_WORKERS": "-3"},
+            {"REPRO_WORKERS": "2", "REPRO_BACKEND": "gpu"},
+            {"REPRO_BACKEND": "gpu"},  # garbage even at serial workers
+            {"REPRO_WORKERS": "1", "REPRO_BACKEND": "processes"},
+        ):
+            with pytest.raises(GraphError):
+                ParallelConfig.from_env(env)
+        with pytest.raises(GraphError, match="REPRO_WORKERS"):
+            ParallelConfig.from_env({"REPRO_WORKERS": "0"})
+        with pytest.raises(GraphError, match="REPRO_BACKEND"):
+            ParallelConfig.from_env({"REPRO_BACKEND": "gpu"})
+
+    def test_from_env_accepts_case_insensitive_backend(self):
+        config = ParallelConfig.from_env(
+            {"REPRO_WORKERS": "2", "REPRO_BACKEND": " Thread "}
+        )
+        assert config.backend == "thread"
 
     def test_use_config_scopes_the_default(self):
         baseline = default_config()
@@ -175,6 +264,17 @@ class TestKernelEquivalence:
         for workers in SHARD_COUNTS:
             assert_contract_equivalent(graph, forced(workers, "serial"))
         assert_contract_equivalent(graph, forced(2, "thread"))
+
+    def test_hop_distances_and_mwu_lengths_sweep(self, name, seed):
+        """The PR 5 kernels join the matrix: multi-source hop distances
+        (source-block shards) and the stacked MWU length evaluation
+        (sample-row shards), workers ∈ {1, 2, 4} per backend."""
+        graph = make_graph(name, seed)
+        for workers in (1, 2, 4):
+            for backend in BACKENDS:
+                config = forced(workers, backend)
+                assert_hop_distances_equivalent(graph, config)
+                assert_mwu_lengths_equivalent(graph, config, seed)
 
 
 # ----------------------------------------------------------------------
@@ -373,3 +473,62 @@ class TestProcessBackend:
         assert_csr_build_equivalent(graph, config)
         approximator = build_test_approximator(graph, 101)
         assert_operator_equivalent(graph, approximator, config, 101)
+
+    def test_new_kernels_process_sweep(self):
+        """Hop distances + stacked MWU lengths at workers ∈ {1, 2, 4}
+        on the fork + shared-memory backend (acceptance matrix)."""
+        graph = make_graph("random", 101)
+        for workers in (1, 2, 4):
+            config = forced(workers, "process")
+            assert_hop_distances_equivalent(graph, config)
+            assert_mwu_lengths_equivalent(graph, config, 101)
+
+
+# ----------------------------------------------------------------------
+# Fork-unavailable platforms (satellite: degrade, never crash)
+# ----------------------------------------------------------------------
+class TestForkFallback:
+    @pytest.mark.parametrize("fork_available", [True, False])
+    def test_process_backend_degrades_without_fork(
+        self, fork_available, monkeypatch
+    ):
+        shutdown_pools()
+        monkeypatch.setattr(
+            pool_module, "_fork_available", lambda: fork_available
+        )
+        monkeypatch.setattr(pool_module, "_FORK_WARNING", [False])
+        config = forced(2, "process")
+        try:
+            if fork_available:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    pool = get_pool(config)
+                assert isinstance(pool, pool_module.ProcessPool)
+            else:
+                with pytest.warns(RuntimeWarning, match="fork"):
+                    pool = get_pool(config)
+                assert isinstance(pool, pool_module.ThreadPool)
+                # One-time warning: repeated requests stay silent and
+                # serve the same degraded pool.
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    assert get_pool(config) is pool
+                # The degraded pool still satisfies the bit-identity
+                # contract end to end.
+                graph = make_graph("random", 101)
+                assert_bfs_equivalent(graph, config)
+                assert_hop_distances_equivalent(graph, config)
+        finally:
+            shutdown_pools()
+
+    def test_degraded_process_request_shares_the_thread_pool(
+        self, monkeypatch
+    ):
+        shutdown_pools()
+        monkeypatch.setattr(pool_module, "_fork_available", lambda: False)
+        monkeypatch.setattr(pool_module, "_FORK_WARNING", [True])  # silent
+        try:
+            degraded = get_pool(forced(2, "process"))
+            assert get_pool(forced(2, "thread")) is degraded
+        finally:
+            shutdown_pools()

@@ -7,8 +7,9 @@ wall-clock of ``build_congestion_approximator``), the apply-path rows
 ``almost_route_n*`` (median wall-clock of the flat stacked operator
 products and one AlmostRoute solve, same configuration the benchmark
 harness records) and the execution-backend rows ``*_sharded_n4096``
-(median wall-clock of the sharded R·b / Rᵀ·g products and frontier BFS
-under the ``REPRO_WORKERS=2`` thread-pool config, compared against the
+(median wall-clock of the sharded R·b / Rᵀ·g products, frontier BFS,
+multi-source hop distances and the stacked MWU length evaluation under
+the ``REPRO_WORKERS=2`` thread-pool config, compared against the
 checked-in *sharded* medians; the live serial-vs-sharded ratio is
 printed alongside for visibility) and fails — exit code 1 — if any
 median regresses more than ``--factor`` (default 2×) versus the
