@@ -135,6 +135,23 @@ SHARDED_BENCH_BACKEND = "thread"
 APPLY_BENCH_ROUTE_EPSILON = 0.5
 APPLY_BENCH_ROUTE_MAX_ITERATIONS = 200
 
+#: name -> (nodes, query count, reps) for the serving rows: Q
+#: sequential one-shot `almost_route` calls vs one stacked
+#: `almost_route_batch` call on the same (serial-pinned) instance the
+#: apply rows use. Like the sharded rows these are live pairs — both
+#: columns measured in one session, plain solver, fixed iteration
+#: budget — so the row tracks the batched kernel's own cost trend
+#: (bit-identity makes the comparison pure scheduling/memory, never
+#: accuracy). The headline serving speedup (accelerated solver, chunked
+#: batches, ≥3x at Q=64) lives in BENCH_serving.json instead, since it
+#: compares across solvers.
+SERVING_BENCH_CONFIG = {
+    "route_batch_q8_n1024": (1024, 8, 3),
+    "route_batch_q64_n1024": (1024, 64, 3),
+}
+SERVING_BENCH_EPSILON = 0.5
+SERVING_BENCH_MAX_ITERATIONS = 60
+
 
 def _best_time(fn, reps: int) -> float:
     values = []
@@ -318,6 +335,57 @@ def measure_execution_backend_benchmarks() -> dict[str, dict[str, float]]:
     return out
 
 
+def measure_serving_benchmarks() -> dict[str, dict[str, float]]:
+    """Sequential vs batched medians for the multi-demand routing rows.
+
+    Returns ``name -> {"sequential_s": ..., "batched_s": ...}`` where
+    sequential is Q one-shot ``almost_route`` calls and batched is one
+    ``almost_route_batch`` call over the same ``(Q, n)`` demand plane
+    (also invoked by tools/bench_regression.py for the CI gate). Both
+    run the plain solver with a fixed iteration budget on the
+    serial-pinned apply-bench instance, so the pair isolates the
+    stacked kernel's per-column cost from solver and scheduling
+    choices.
+    """
+    from repro.core.almost_route import almost_route_batch
+
+    out: dict[str, dict[str, float]] = {}
+    instances: dict[int, tuple] = {}
+    for name, (n, num_queries, reps) in SERVING_BENCH_CONFIG.items():
+        if n not in instances:
+            instances[n] = apply_bench_instance(n)
+        g, approx, _, _ = instances[n]
+        _, _, _, dseed, _, _ = APPLY_BENCH_CONFIG[n]
+        rng = np.random.default_rng(dseed)
+        plane = rng.normal(size=(num_queries, n))
+        plane -= plane.mean(axis=1, keepdims=True)
+
+        def run_sequential():
+            for q in range(num_queries):
+                almost_route(
+                    g,
+                    approx,
+                    plane[q],
+                    SERVING_BENCH_EPSILON,
+                    max_iterations=SERVING_BENCH_MAX_ITERATIONS,
+                )
+
+        out[name] = {
+            "sequential_s": _median_time(run_sequential, reps),
+            "batched_s": _median_time(
+                lambda: almost_route_batch(
+                    g,
+                    approx,
+                    plane,
+                    SERVING_BENCH_EPSILON,
+                    max_iterations=SERVING_BENCH_MAX_ITERATIONS,
+                ),
+                reps,
+            ),
+        }
+    return out
+
+
 def _measure_current() -> dict[str, float]:
     from repro.cluster import decompose_tree
     from repro.graphs.trees import bfs_tree
@@ -395,6 +463,10 @@ def pytest_sessionfinish(session, exitstatus):
         backend_rows = measure_execution_backend_benchmarks()
     except Exception:
         backend_rows = {}
+    try:
+        serving_rows = measure_serving_benchmarks()
+    except Exception:
+        serving_rows = {}
     metrics = {
         name: {
             "before_s": SEED_BASELINES[name],
@@ -423,6 +495,14 @@ def pytest_sessionfinish(session, exitstatus):
             "after_s": pair["sharded_s"],
             "speedup": round(pair["serial_s"] / pair["sharded_s"], 2),
         }
+    for name, pair in serving_rows.items():
+        # before = Q sequential one-shot solves, after = one stacked
+        # batch, both from this session: the live batching ratio.
+        metrics[name] = {
+            "before_s": pair["sequential_s"],
+            "after_s": pair["batched_s"],
+            "speedup": round(pair["sequential_s"] / pair["batched_s"], 2),
+        }
     report = {
         "description": (
             "Graph-substrate hot-path timings (seconds). bfs/contract/"
@@ -440,7 +520,15 @@ def pytest_sessionfinish(session, exitstatus):
             "session — bit-identical outputs by contract, so the ratio "
             "is pure scheduling (>= 1 on multi-core hosts, <= 1 where "
             "one core serializes the pool; the CI gate tracks the "
-            "sharded column against itself, not against serial)."
+            "sharded column against itself, not against serial). "
+            "route_batch_q{8,64}_n1024 rows: median-of-N, Q sequential "
+            "one-shot plain almost_route solves vs one stacked "
+            "almost_route_batch call over the same (Q, n) plane, fixed "
+            "60-iteration budget, serial-pinned — per-column "
+            "bit-identical by contract, so the ratio is the stacked "
+            "kernel's per-column cost trend (the gate tracks the "
+            "batched column against itself; the cross-solver serving "
+            "speedup is recorded in BENCH_serving.json)."
         ),
         "metrics": metrics,
     }

@@ -26,6 +26,14 @@ Substrates (each independently usable)::
     from repro.jtree import sample_virtual_tree       # Theorem 8.10
     from repro.congest import CongestNetwork          # the model itself
 
+Serving (build the approximator once, route many demands — batched
+multi-demand routing with a warm workspace pool and a version-keyed
+result cache, bit-identical per query to the one-shot calls)::
+
+    from repro import FlowServer
+    server = FlowServer(graph, epsilon=0.25)
+    results = server.route_batch(demands)     # list of AlmostRouteResult
+
 Sharded execution (multi-worker kernels, bit-identical to serial)::
 
     from repro.parallel import ParallelConfig
@@ -53,6 +61,7 @@ from repro.congest import CongestNetwork, CostModel, distributed_push_relabel
 from repro.jtree import HierarchyParams, sample_virtual_tree
 from repro.lsst import akpw_spanning_tree
 from repro.parallel import ParallelConfig, ShardPlan
+from repro.serve import FlowServer
 from repro.sparsify import sparsify
 from repro.errors import ReproError
 
@@ -75,6 +84,7 @@ __all__ = [
     "akpw_spanning_tree",
     "ParallelConfig",
     "ShardPlan",
+    "FlowServer",
     "sparsify",
     "ReproError",
 ]

@@ -1,6 +1,11 @@
 """The paper's primary contribution: approximator + gradient descent."""
 
-from repro.core.softmax import smax, smax_and_gradient, smax_gradient
+from repro.core.softmax import (
+    smax,
+    smax_and_gradient,
+    smax_and_gradient_batch,
+    smax_gradient,
+)
 from repro.core.approximator import (
     StackedTreeOperator,
     TreeCongestionApproximator,
@@ -11,8 +16,11 @@ from repro.core.approximator import (
 )
 from repro.core.almost_route import (
     AlmostRouteResult,
+    BatchAlmostRouteResult,
+    BatchRouteWorkspace,
     RouteWorkspace,
     almost_route,
+    almost_route_batch,
 )
 from repro.core.maxflow import (
     ApproxFlow,
@@ -21,7 +29,10 @@ from repro.core.maxflow import (
     min_congestion_flow,
 )
 from repro.core.rounds import RoundEstimate, estimate_rounds
-from repro.core.accelerated import accelerated_almost_route
+from repro.core.accelerated import (
+    accelerated_almost_route,
+    accelerated_almost_route_batch,
+)
 from repro.core.binary_search import (
     BinarySearchMaxFlow,
     max_flow_binary_search,
@@ -30,6 +41,7 @@ from repro.core.binary_search import (
 __all__ = [
     "smax",
     "smax_and_gradient",
+    "smax_and_gradient_batch",
     "smax_gradient",
     "StackedTreeOperator",
     "TreeCongestionApproximator",
@@ -38,8 +50,11 @@ __all__ = [
     "estimate_alpha_st",
     "racke_sample_trees",
     "AlmostRouteResult",
+    "BatchAlmostRouteResult",
+    "BatchRouteWorkspace",
     "RouteWorkspace",
     "almost_route",
+    "almost_route_batch",
     "ApproxFlow",
     "ApproxMaxFlow",
     "max_flow",
@@ -47,6 +62,7 @@ __all__ = [
     "RoundEstimate",
     "estimate_rounds",
     "accelerated_almost_route",
+    "accelerated_almost_route_batch",
     "BinarySearchMaxFlow",
     "max_flow_binary_search",
 ]

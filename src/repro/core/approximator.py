@@ -241,6 +241,44 @@ class TreeCongestionApproximator:
             )
         return float(np.abs(self.apply(demand)).max(initial=0.0))
 
+    # ------------------------------------------------------------------
+    # Multi-RHS batch products. Always the flat stacked operator —
+    # the batch paths exist only there, and they are golden-tested
+    # bit-identical per query to both 1-D paths, so there is nothing
+    # to dispatch on.
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self, demand_plane: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``R·b`` for ``Q`` stacked demands: ``(Q, n) → (Q, num_rows)``,
+        each row bit-identical to :meth:`apply` on that demand."""
+        return self.stacked().apply_batch(
+            np.asarray(demand_plane, dtype=float),
+            out=out,
+            parallel=self.parallel,
+        )
+
+    def apply_transpose_batch(
+        self, row_plane: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``Rᵀ·g`` for ``Q`` stacked row vectors: ``(Q, num_rows) →
+        (Q, n)``, each row bit-identical to :meth:`apply_transpose`."""
+        return self.stacked().apply_transpose_batch(
+            np.asarray(row_plane, dtype=float),
+            out=out,
+            parallel=self.parallel,
+        )
+
+    def estimate_batch(
+        self, demand_plane: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-query ``‖R·b_q‖_∞`` as a ``(Q,)`` vector."""
+        return self.stacked().estimate_batch(
+            np.asarray(demand_plane, dtype=float),
+            out=out,
+            parallel=self.parallel,
+        )
+
     def trees(self) -> list[RootedTree]:
         return [op.tree for op in self.operators]
 

@@ -23,13 +23,29 @@ scratch still selects the split two-call path. All paths — fused,
 split, unbuffered — execute the identical per-element operations and
 the identical two-half summation fold, so results are bit-identical
 (golden-tested in ``tests/test_softmax.py``).
+
+:func:`smax_and_gradient_batch` is the multi-query plane form: ``Q``
+argument rows evaluated by the same fused pair-buffer sequence over a
+``(Q, 2k)`` scratch plane — one ``np.exp`` dispatch for *all* queries.
+Every per-row operation (max-subtraction, the stacked exponential, the
+two-half row sum, the normalized difference) reduces over the
+contiguous last axis exactly as the 1-D path reduces its contiguous
+vector, so each row of the batched result is **bit-identical** to
+:func:`smax_and_gradient` on that row alone — the contract the batched
+AlmostRoute loop (:func:`repro.core.almost_route.almost_route_batch`)
+rides on, golden-tested per row in ``tests/test_softmax.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["smax", "smax_gradient", "smax_and_gradient"]
+__all__ = [
+    "smax",
+    "smax_gradient",
+    "smax_and_gradient",
+    "smax_and_gradient_batch",
+]
 
 
 def smax(y: np.ndarray) -> float:
@@ -115,3 +131,64 @@ def smax_and_gradient(
     np.subtract(pos, neg, out=grad)
     np.true_divide(grad, total, out=grad)
     return value, grad
+
+
+def smax_and_gradient_batch(
+    y: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+    values_out: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`smax_and_gradient` over a ``(Q, k)`` plane.
+
+    Returns ``(values, gradients)`` with ``values[q], gradients[q]``
+    bit-identical to ``smax_and_gradient(y[q])``: the per-row max
+    subtraction, the single stacked ``np.exp`` and the two-half row sum
+    reduce over each contiguous row exactly as the 1-D fused path does
+    over its vector.
+
+    Args:
+        y: C-contiguous argument plane of shape ``(Q, k)``.
+        out: Optional ``(Q, k)`` buffer receiving the gradients.
+        scratch: Optional ``(Q, 2k)`` pair-plane work buffer; both
+            exponential halves live in it and a single ``np.exp``
+            evaluates all ``Q`` rows at once.
+        values_out: Optional ``(Q,)`` buffer receiving the values.
+
+    With all three buffers the call allocates only the two ``(Q,)``
+    reduction temporaries.
+    """
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 2:
+        raise ValueError(f"expected a (Q, k) plane, got shape {y.shape}")
+    num_queries, k = y.shape
+    values = values_out if values_out is not None else np.empty(num_queries)
+    if k == 0:
+        values[:] = float("-inf")
+        return values, (np.zeros((num_queries, 0)) if out is None else out[:, :0])
+    for name, buf in (("out", out), ("scratch", scratch)):
+        if buf is not None and np.may_share_memory(buf, y):
+            raise ValueError(f"{name} buffer must not alias y")
+    pair = scratch if scratch is not None else np.empty((num_queries, 2 * k))
+    if pair.shape != (num_queries, 2 * k):
+        raise ValueError(
+            f"scratch must have shape {(num_queries, 2 * k)}, "
+            f"got {pair.shape}"
+        )
+    # Per-row max of |y| — same reduction as the 1-D float(abs(y).max()).
+    pos = pair[:, :k]
+    neg = pair[:, k:]
+    np.abs(y, out=pos)
+    m = pos.max(axis=1)
+    np.subtract(y, m[:, None], out=pos)
+    np.negative(y, out=neg)
+    np.subtract(neg, m[:, None], out=neg)
+    # One ufunc dispatch for both exponential families of all Q rows.
+    np.exp(pair, out=pair)
+    total = pos.sum(axis=1) + neg.sum(axis=1)
+    np.log(total, out=values)
+    np.add(values, m, out=values)
+    grad = out if out is not None else np.empty_like(y)
+    np.subtract(pos, neg, out=grad)
+    np.true_divide(grad, total[:, None], out=grad)
+    return values, grad

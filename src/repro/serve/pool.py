@@ -1,0 +1,111 @@
+"""Warm workspace pool for the flow server.
+
+AlmostRoute's inner loop is allocation free *given* a
+:class:`~repro.core.almost_route.RouteWorkspace`; the workspace itself
+is a dozen m/n/row-shaped buffers whose allocation (and first-touch
+page faulting) is pure per-query overhead in a serve-many setting. The
+pool keeps workspaces warm across queries: acquire pops a ready one
+(or builds on first use), release pushes it back. Batch workspaces are
+pooled per batch size Q, since every plane is Q-shaped.
+
+Shape safety rides on the ``ensure`` contract: a released workspace is
+only re-admitted if its ``shape_key`` still matches the pool's bound
+(graph, approximator) pair, and ``rebind`` (called by the server after
+a graph mutation or approximator rebuild) drops every pooled workspace
+whose shapes went stale. Acquire/release are lock-protected so a server
+can be driven from multiple request threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.almost_route import BatchRouteWorkspace, RouteWorkspace
+from repro.core.approximator import TreeCongestionApproximator
+from repro.graphs.graph import Graph
+
+__all__ = ["WorkspacePool"]
+
+
+class WorkspacePool:
+    """Reusable single- and batch-routing workspaces for one
+    (graph, approximator) pair."""
+
+    def __init__(
+        self, graph: Graph, approximator: TreeCongestionApproximator
+    ) -> None:
+        self._lock = threading.Lock()
+        self._singles: list[RouteWorkspace] = []
+        self._batches: dict[int, list[BatchRouteWorkspace]] = {}
+        self.created_singles = 0
+        self.created_batches = 0
+        self.rebind(graph, approximator)
+
+    def rebind(
+        self, graph: Graph, approximator: TreeCongestionApproximator
+    ) -> None:
+        """Point the pool at a (possibly new) pair, flushing every
+        pooled workspace whose shapes no longer fit."""
+        with self._lock:
+            self._graph = graph
+            self._approximator = approximator
+            key = (graph.num_edges, graph.num_nodes, approximator.num_rows)
+            self._shape_key = key
+            self._singles = [
+                ws for ws in self._singles if ws.shape_key == key
+            ]
+            self._batches = {
+                q: kept
+                for q, stock in self._batches.items()
+                if (kept := [
+                    ws for ws in stock if ws.shape_key == (q,) + key
+                ])
+            }
+
+    def flush(self) -> None:
+        """Drop every pooled workspace (keeps the binding)."""
+        with self._lock:
+            self._singles.clear()
+            self._batches.clear()
+
+    def acquire(self) -> RouteWorkspace:
+        """Pop a warm single-query workspace, building one on a dry
+        pool."""
+        with self._lock:
+            if self._singles:
+                return self._singles.pop()
+            self.created_singles += 1
+            graph, approximator = self._graph, self._approximator
+        return RouteWorkspace(graph, approximator)
+
+    def release(self, workspace: RouteWorkspace) -> None:
+        """Return a workspace to the pool (silently dropped if its
+        shapes went stale, e.g. released after a rebind)."""
+        with self._lock:
+            if workspace.shape_key == self._shape_key:
+                self._singles.append(workspace)
+
+    def acquire_batch(self, num_queries: int) -> BatchRouteWorkspace:
+        """Pop a warm batch workspace for ``num_queries`` stacked
+        demands, building one on a dry pool."""
+        with self._lock:
+            stock = self._batches.get(num_queries)
+            if stock:
+                return stock.pop()
+            self.created_batches += 1
+            graph, approximator = self._graph, self._approximator
+        return BatchRouteWorkspace(graph, approximator, num_queries)
+
+    def release_batch(self, workspace: BatchRouteWorkspace) -> None:
+        with self._lock:
+            q = workspace.num_queries
+            if workspace.shape_key == (q,) + self._shape_key:
+                self._batches.setdefault(q, []).append(workspace)
+
+    def pooled_counts(self) -> tuple[int, int]:
+        """(idle single workspaces, idle batch workspaces) right now."""
+        with self._lock:
+            return (
+                len(self._singles),
+                sum(len(stock) for stock in self._batches.values()),
+            )

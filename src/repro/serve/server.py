@@ -1,0 +1,329 @@
+"""FlowServer — build-once / serve-many routing over one graph.
+
+The paper's target workload (and the ROADMAP north star) is one graph
+serving many demand queries: the congestion approximator costs ~n·log n
+tree samples to build but answers any demand, so amortizing one build
+over a query stream changes the economics completely. The server owns
+
+* a built :class:`~repro.core.approximator.TreeCongestionApproximator`,
+* a warm :class:`~repro.serve.pool.WorkspacePool` of single- and
+  batch-routing workspaces, and
+* a version-keyed :class:`~repro.serve.cache.ResultCache`,
+
+and serves single demands (:meth:`FlowServer.route`,
+:meth:`FlowServer.route_st`) and stacked multi-demand batches
+(:meth:`FlowServer.route_batch`, the
+:func:`~repro.core.almost_route.almost_route_batch` fast path that
+amortizes every operator product across the batch).
+
+Because batched routing is **bit-identical per column** to the one-shot
+call, singles and batch columns share one cache namespace: a demand
+routed inside a batch hits later as a single query and vice versa, and
+a batch with partial hits routes only the missing columns (as a
+smaller batch) without changing any result bit.
+
+Mutation safety: every entry point first compares the graph's
+cache-invalidation counter (``Graph._version``) against the epoch the
+cache and approximator were built in. A moved version drops the cached
+results exactly once and — under the default ``refresh="rebuild"``
+policy — rebuilds the approximator from the stored seed and rebinds
+the workspace pool. ``refresh="reuse"`` keeps the (now stale) tree
+approximator as a documented approximation: routing still uses the
+live capacities through ``graph.capacities()``, but the cut structure
+R reflects the pre-mutation graph, so quality degrades gracefully
+instead of paying a rebuild. Structural mutations (``add_edge``)
+always flush the pool, since every workspace is m-shaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.core.accelerated import (
+    accelerated_almost_route,
+    accelerated_almost_route_batch,
+)
+from repro.core.almost_route import AlmostRouteResult, almost_route, almost_route_batch
+from repro.core.approximator import (
+    TreeCongestionApproximator,
+    build_congestion_approximator,
+)
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.parallel.config import ParallelConfig
+from repro.serve.cache import CacheStats, ResultCache, demand_digest
+from repro.serve.pool import WorkspacePool
+from repro.util.validation import st_demand
+
+__all__ = ["FlowServer", "ServerStats"]
+
+_SOLVERS = {
+    "plain": (almost_route, almost_route_batch),
+    "accelerated": (accelerated_almost_route, accelerated_almost_route_batch),
+}
+
+
+@dataclass
+class ServerStats:
+    """Serving counters plus a snapshot of the cache stats."""
+
+    single_queries: int = 0
+    batch_queries: int = 0
+    batched_columns: int = 0
+    rebuilds: int = 0
+    cache: CacheStats | None = None
+
+
+class FlowServer:
+    """Serve routing queries against one graph, building R once.
+
+    Args:
+        graph: The capacitated graph to serve.
+        approximator: Optional prebuilt congestion approximator; built
+            from ``rng`` when omitted.
+        epsilon: Target AlmostRoute accuracy shared by all queries
+            (part of every cache key).
+        solver: ``"plain"`` (Algorithm 2) or ``"accelerated"``
+            (momentum variant, footnote 3).
+        max_iterations: Optional per-query gradient budget override.
+        cache_capacity: LRU capacity of the result cache (``0``
+            disables caching).
+        max_batch: Upper bound on the number of demand columns routed
+            through one stacked solver call; larger miss batches are
+            served in chunks of this size. Batched routing is
+            bit-identical per column regardless of how columns are
+            grouped, so chunking is purely a working-set policy: the
+            ``(Q, ·)`` planes of a bounded chunk stay cache-resident
+            where one huge batch would stream through DRAM (measured in
+            ``tools/bench_serving.py``). ``None`` disables chunking.
+        parallel: Optional sharded-execution config for the operator
+            products (results are bit-identical either way).
+        rng: Seed used to build — and, under ``refresh="rebuild"``,
+            re-build — the approximator.
+        refresh: Mutation policy: ``"rebuild"`` (default) reconstructs
+            the approximator from ``rng`` when the graph version moves;
+            ``"reuse"`` keeps the stale tree structure (documented
+            approximation — live capacities, pre-mutation cuts).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        approximator: TreeCongestionApproximator | None = None,
+        *,
+        epsilon: float = 0.1,
+        solver: Literal["plain", "accelerated"] = "plain",
+        max_iterations: int | None = None,
+        cache_capacity: int = 1024,
+        max_batch: int | None = 8,
+        parallel: ParallelConfig | None = None,
+        rng: np.random.Generator | int | None = 0,
+        refresh: Literal["rebuild", "reuse"] = "rebuild",
+    ) -> None:
+        if solver not in _SOLVERS:
+            raise ValueError(
+                f"solver must be one of {sorted(_SOLVERS)}, got {solver!r}"
+            )
+        if refresh not in ("rebuild", "reuse"):
+            raise ValueError(
+                f"refresh must be 'rebuild' or 'reuse', got {refresh!r}"
+            )
+        eps = float(epsilon)
+        if not 0 < eps <= 1:
+            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1 or None, got {max_batch}")
+        self.graph = graph
+        self.epsilon = eps
+        self.solver = solver
+        self.max_iterations = max_iterations
+        self.max_batch = max_batch
+        self.parallel = parallel
+        self.refresh = refresh
+        self._rng = rng
+        if approximator is None:
+            approximator = build_congestion_approximator(
+                graph, rng=rng, parallel=parallel
+            )
+        elif approximator.graph is not graph:
+            raise GraphError(
+                "approximator was built for a different graph object"
+            )
+        self.approximator = approximator
+        self._cache = ResultCache(cache_capacity)
+        self._cache.sync_epoch(graph._version)
+        self._pool = WorkspacePool(graph, approximator)
+        self._epoch = graph._version
+        self._edge_count = graph.num_edges
+        self._single_queries = 0
+        self._batch_queries = 0
+        self._batched_columns = 0
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Mutation detection
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Catch up with graph mutations before serving a query.
+
+        Drops old-epoch cached results exactly once (the cache's own
+        contract) and applies the refresh policy to the approximator
+        and workspace pool.
+        """
+        version = self.graph._version
+        if version == self._epoch:
+            return
+        self._cache.sync_epoch(version)
+        structural = self.graph.num_edges != self._edge_count
+        if self.refresh == "rebuild":
+            self.approximator = build_congestion_approximator(
+                self.graph, rng=self._rng, parallel=self.parallel
+            )
+            self._rebuilds += 1
+            self._pool.rebind(self.graph, self.approximator)
+        elif structural:
+            # Stale approximator kept by policy, but the m-shaped
+            # workspaces cannot survive an edge-count change.
+            self._pool.rebind(self.graph, self.approximator)
+        self._epoch = version
+        self._edge_count = self.graph.num_edges
+
+    # ------------------------------------------------------------------
+    # Query keys
+    # ------------------------------------------------------------------
+    def _query_key(self, demand: np.ndarray) -> tuple:
+        return (
+            self.solver,
+            self.epsilon,
+            self.max_iterations,
+            demand_digest(demand),
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def route(
+        self, demand: Sequence[float], use_cache: bool = True
+    ) -> AlmostRouteResult:
+        """Route one demand vector, hitting the result cache when the
+        same query was served this epoch (by single or batched call).
+
+        Cached results are shared objects — treat them as read-only.
+        """
+        self._sync()
+        self._single_queries += 1
+        demand = np.ascontiguousarray(demand, dtype=float)
+        key = self._query_key(demand)
+        if use_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        single, _ = _SOLVERS[self.solver]
+        workspace = self._pool.acquire()
+        try:
+            result = single(
+                self.graph,
+                self.approximator,
+                demand,
+                self.epsilon,
+                max_iterations=self.max_iterations,
+                workspace=workspace,
+                parallel=self.parallel,
+            )
+        finally:
+            self._pool.release(workspace)
+        self._cache.put(key, result)
+        return result
+
+    def route_st(
+        self, source: int, sink: int, value: float = 1.0, use_cache: bool = True
+    ) -> AlmostRouteResult:
+        """Route an s-t demand of the given value."""
+        return self.route(
+            st_demand(self.graph, source, sink, value), use_cache=use_cache
+        )
+
+    def route_batch(
+        self,
+        demands: Iterable[Sequence[float]] | np.ndarray,
+        use_cache: bool = True,
+    ) -> list[AlmostRouteResult]:
+        """Route ``Q`` stacked demands through the batched solver.
+
+        Cache hits are split out first; the remaining misses run as
+        smaller stacked batches of at most ``max_batch`` columns
+        (bit-identity makes the re-batching invisible in the results)
+        and every fresh column is cached individually, so batches and
+        singles warm each other.
+        """
+        self._sync()
+        demands = np.ascontiguousarray(demands, dtype=float)
+        if demands.ndim != 2:
+            raise GraphError(
+                f"expected a (Q, n) demand plane, got shape {demands.shape}"
+            )
+        num_queries = demands.shape[0]
+        self._batch_queries += 1
+        self._batched_columns += num_queries
+        results: list[AlmostRouteResult | None] = [None] * num_queries
+        keys = [self._query_key(demands[q]) for q in range(num_queries)]
+        miss_idx = []
+        for q, key in enumerate(keys):
+            cached = self._cache.get(key) if use_cache else None
+            if cached is not None:
+                results[q] = cached
+            else:
+                miss_idx.append(q)
+        _, batch_solver = _SOLVERS[self.solver]
+        chunk = self.max_batch or len(miss_idx) or 1
+        # Chunked miss routing: column grouping never changes any bit,
+        # so bounding the per-call plane width is free correctness-wise
+        # and keeps the solver's working set cache-resident. Fixed-size
+        # chunks also re-hit the same pooled batch workspace.
+        for start in range(0, len(miss_idx), chunk):
+            idx = miss_idx[start : start + chunk]
+            plane = np.ascontiguousarray(demands[idx])
+            workspace = self._pool.acquire_batch(len(idx))
+            try:
+                batch = batch_solver(
+                    self.graph,
+                    self.approximator,
+                    plane,
+                    self.epsilon,
+                    max_iterations=self.max_iterations,
+                    workspace=workspace,
+                    parallel=self.parallel,
+                )
+            finally:
+                self._pool.release_batch(workspace)
+            for j, q in enumerate(idx):
+                result = batch.query(j)
+                self._cache.put(keys[q], result)
+                results[q] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        return ServerStats(
+            single_queries=self._single_queries,
+            batch_queries=self._batch_queries,
+            batched_columns=self._batched_columns,
+            rebuilds=self._rebuilds,
+            cache=self._cache.stats(),
+        )
+
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats()
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def pool(self) -> WorkspacePool:
+        return self._pool

@@ -18,6 +18,7 @@ from repro.graphs.graph import Graph
 
 __all__ = [
     "check_demand",
+    "check_demand_batch",
     "st_demand",
     "check_flow_conservation",
     "check_flow_capacity",
@@ -45,6 +46,38 @@ def check_demand(graph: Graph, demand: Sequence[float], tol: float = 1e-9) -> np
             f"demand must sum to zero, sums to {demand.sum():g}"
         )
     return demand
+
+
+def check_demand_batch(
+    graph: Graph, demands: Sequence[Sequence[float]], tol: float = 1e-9
+) -> np.ndarray:
+    """Validate a ``(Q, n)`` plane of stacked demand vectors.
+
+    Applies the :func:`check_demand` criteria row by row (each row's
+    zero-sum tolerance uses that row's own scale) and names the first
+    offending query. Returns the plane as a C-contiguous float array.
+    """
+    demands = np.ascontiguousarray(demands, dtype=float)
+    if demands.ndim != 2 or demands.shape[1] != graph.num_nodes:
+        raise InvalidDemandError(
+            f"demand plane has shape {demands.shape}, expected "
+            f"(Q, {graph.num_nodes})"
+        )
+    finite = np.isfinite(demands).all(axis=1)
+    if not finite.all():
+        q = int(np.argmin(finite))
+        raise InvalidDemandError(
+            f"demand {q} contains non-finite entries"
+        )
+    scales = np.maximum(1.0, np.abs(demands).max(axis=1, initial=0.0))
+    sums = demands.sum(axis=1)
+    bad = np.abs(sums) > tol * scales * graph.num_nodes
+    if bad.any():
+        q = int(np.argmax(bad))
+        raise InvalidDemandError(
+            f"demand {q} must sum to zero, sums to {sums[q]:g}"
+        )
+    return demands
 
 
 def st_demand(graph: Graph, source: int, sink: int, value: float = 1.0) -> np.ndarray:

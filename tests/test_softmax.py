@@ -7,7 +7,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.softmax import smax, smax_and_gradient, smax_gradient
+from repro.core.softmax import (
+    smax,
+    smax_and_gradient,
+    smax_and_gradient_batch,
+    smax_gradient,
+)
 
 
 class TestValue:
@@ -135,3 +140,62 @@ class TestFusedExp:
         y = base[:8]
         with pytest.raises(ValueError):
             smax_and_gradient(y, scratch=base)
+
+
+class TestBatchPlane:
+    """The ``(Q, k)`` plane form is golden bit-identical per row to the
+    1-D fused path (the contract the batched AlmostRoute loop rides
+    on)."""
+
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 64), (7, 33), (16, 256)])
+    def test_rows_bit_identical_to_1d(self, shape):
+        rng = np.random.default_rng(shape[0] * 1000 + shape[1])
+        y = rng.normal(size=shape) * 40.0
+        values, grads = smax_and_gradient_batch(y)
+        for q in range(shape[0]):
+            value_1d, grad_1d = smax_and_gradient(y[q])
+            assert float(values[q]) == value_1d
+            assert np.array_equal(grad_1d, grads[q])
+
+    def test_rows_match_legacy_reference(self):
+        rng = np.random.default_rng(99)
+        y = rng.normal(size=(5, 31)) * 30.0
+        values, grads = smax_and_gradient_batch(y)
+        for q in range(5):
+            golden_value, golden_grad = TestFusedExp._legacy_reference(y[q])
+            assert float(values[q]) == golden_value
+            assert np.array_equal(golden_grad, grads[q])
+
+    def test_buffered_call_is_identical_and_in_place(self):
+        rng = np.random.default_rng(100)
+        y = rng.normal(size=(4, 12)) * 20.0
+        plain_values, plain_grads = smax_and_gradient_batch(y)
+        out = np.empty((4, 12))
+        scratch = np.empty((4, 24))
+        values_out = np.empty(4)
+        values, grads = smax_and_gradient_batch(
+            y, out=out, scratch=scratch, values_out=values_out
+        )
+        assert grads is out
+        assert values is values_out
+        assert np.array_equal(plain_values, values)
+        assert np.array_equal(plain_grads, grads)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            smax_and_gradient_batch(np.zeros(8))
+
+    def test_rejects_wrong_scratch_shape(self):
+        with pytest.raises(ValueError):
+            smax_and_gradient_batch(np.zeros((3, 8)), scratch=np.empty((3, 8)))
+
+    def test_rejects_alias(self):
+        base = np.zeros((2, 16))
+        y = base[:, :8]
+        with pytest.raises(ValueError):
+            smax_and_gradient_batch(y, scratch=base)
+
+    def test_zero_width_plane(self):
+        values, grads = smax_and_gradient_batch(np.zeros((3, 0)))
+        assert np.all(values == float("-inf"))
+        assert grads.shape == (3, 0)

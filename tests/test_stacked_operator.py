@@ -257,17 +257,28 @@ class TestEndToEndIdentity:
             assert np.array_equal(a.flow, b.flow)
             assert a.iterations == b.iterations
 
-    def test_workspace_mismatch_rebuilt(self, medium):
+    def test_workspace_mismatch_raises(self, medium):
+        """A workspace sized for a different (graph, approximator) pair
+        is an error, not a silent rebuild: the caller handed over
+        buffers it expects to keep reusing (regression for the old
+        silent-replace behaviour)."""
         g, approx = medium
         other = random_connected(12, 0.4, rng=315)
         other_approx = build_congestion_approximator(
             other, num_trees=2, rng=316
         )
         stale = RouteWorkspace(other, other_approx)
-        rebuilt = RouteWorkspace.ensure(stale, g, approx)
-        assert rebuilt is not stale
-        assert rebuilt.shape_key == (g.num_edges, g.num_nodes, approx.num_rows)
-        assert RouteWorkspace.ensure(rebuilt, g, approx) is rebuilt
+        with pytest.raises(GraphError, match="shape mismatch") as exc:
+            RouteWorkspace.ensure(stale, g, approx)
+        # The message names both the expected and the actual sizes.
+        assert str(stale.shape_key) in str(exc.value)
+        key = (g.num_edges, g.num_nodes, approx.num_rows)
+        assert str(key) in str(exc.value)
+        with pytest.raises(GraphError):
+            almost_route(g, approx, st_demand(g, 0, 5), 0.4, workspace=stale)
+        built = RouteWorkspace.ensure(None, g, approx)
+        assert built.shape_key == key
+        assert RouteWorkspace.ensure(built, g, approx) is built
 
     def test_min_congestion_flow_workspace_param(self, medium):
         g, approx = medium
@@ -298,3 +309,114 @@ class TestAlphaEstimateGuard:
         )
         alpha = estimate_alpha_st(g, approx, rng=317, trials=3)
         assert alpha == 2.0  # nothing learned: worst=1 times safety
+
+
+class TestBatchedOperator:
+    """The multi-RHS ``(Q, ·)`` paths of the stacked operator are
+    golden bit-identical per row to the 1-D paths (and hence,
+    transitively, to the per-tree reference), serial and sharded."""
+
+    def _planes(self, g, approx, num_queries, seed):
+        rng = np.random.default_rng(seed)
+        demands = rng.normal(size=(num_queries, g.num_nodes))
+        demands -= demands.mean(axis=1, keepdims=True)
+        rows = rng.normal(size=(num_queries, approx.num_rows))
+        return demands, rows
+
+    def test_apply_batch_rows_match_1d(self, medium):
+        g, approx = medium
+        demands, _ = self._planes(g, approx, 6, 401)
+        plane = approx.apply_batch(demands)
+        assert plane.shape == (6, approx.num_rows)
+        for q in range(6):
+            assert np.array_equal(approx.apply(demands[q]), plane[q])
+
+    def test_apply_transpose_batch_rows_match_1d(self, medium):
+        g, approx = medium
+        _, rows = self._planes(g, approx, 6, 402)
+        plane = approx.apply_transpose_batch(rows)
+        assert plane.shape == (6, g.num_nodes)
+        for q in range(6):
+            assert np.array_equal(approx.apply_transpose(rows[q]), plane[q])
+
+    def test_estimate_batch_rows_match_1d(self, medium):
+        g, approx = medium
+        demands, _ = self._planes(g, approx, 5, 403)
+        demands[2] = 0.0  # zero row: estimate must be exactly 0.0
+        norms = approx.estimate_batch(demands)
+        for q in range(5):
+            assert float(norms[q]) == approx.estimate(demands[q])
+
+    def test_out_buffers(self, medium):
+        g, approx = medium
+        demands, rows = self._planes(g, approx, 4, 404)
+        out_rows = np.empty((4, approx.num_rows))
+        assert approx.apply_batch(demands, out=out_rows) is out_rows
+        assert np.array_equal(approx.apply_batch(demands), out_rows)
+        out_pots = np.empty((4, g.num_nodes))
+        assert approx.apply_transpose_batch(rows, out=out_pots) is out_pots
+        assert np.array_equal(approx.apply_transpose_batch(rows), out_pots)
+
+    def test_sharded_batch_identical(self, medium):
+        """Sharded batched products == serial batched products, bit for
+        bit, across shard counts and backends (same contract as the
+        1-D sharded paths)."""
+        from repro.parallel import ParallelConfig
+
+        g, approx = medium
+        stacked = approx.stacked()
+        demands, rows = self._planes(g, approx, 5, 405)
+        serial_apply = stacked.apply_batch(demands).copy()
+        serial_transpose = stacked.apply_transpose_batch(rows).copy()
+        serial_estimate = stacked.estimate_batch(demands).copy()
+        for workers in (2, 3):
+            for backend in ("serial", "thread"):
+                config = ParallelConfig(
+                    workers=workers, backend=backend, min_size=0
+                )
+                assert np.array_equal(
+                    serial_apply,
+                    stacked.apply_batch(demands, parallel=config),
+                )
+                assert np.array_equal(
+                    serial_transpose,
+                    stacked.apply_transpose_batch(rows, parallel=config),
+                )
+                assert np.array_equal(
+                    serial_estimate,
+                    stacked.estimate_batch(demands, parallel=config),
+                )
+
+    def test_batch_scratch_reuse_is_pure(self, medium):
+        """The cached per-Q scratch planes must not leak state."""
+        g, approx = medium
+        stacked = approx.stacked()
+        demands, rows = self._planes(g, approx, 3, 406)
+        first = stacked.apply_batch(demands).copy()
+        other = demands[::-1].copy()
+        stacked.apply_batch(other)
+        assert np.array_equal(stacked.apply_batch(demands), first)
+        first_t = stacked.apply_transpose_batch(rows).copy()
+        stacked.apply_transpose_batch(rows[::-1].copy())
+        assert np.array_equal(stacked.apply_transpose_batch(rows), first_t)
+
+    def test_shape_errors(self, medium):
+        g, approx = medium
+        stacked = approx.stacked()
+        with pytest.raises(GraphError):
+            stacked.apply_batch(np.zeros(g.num_nodes))  # 1-D
+        with pytest.raises(GraphError):
+            stacked.apply_batch(np.zeros((2, g.num_nodes + 1)))
+        with pytest.raises(GraphError):
+            stacked.apply_transpose_batch(np.zeros((2, approx.num_rows - 1)))
+
+    def test_empty_batch(self, medium):
+        g, approx = medium
+        stacked = approx.stacked()
+        assert stacked.apply_batch(np.zeros((0, g.num_nodes))).shape == (
+            0,
+            approx.num_rows,
+        )
+        assert stacked.apply_transpose_batch(
+            np.zeros((0, approx.num_rows))
+        ).shape == (0, g.num_nodes)

@@ -11,9 +11,19 @@ harness records) and the execution-backend rows ``*_sharded_n4096``
 multi-source hop distances and the stacked MWU length evaluation under
 the ``REPRO_WORKERS=2`` thread-pool config, compared against the
 checked-in *sharded* medians; the live serial-vs-sharded ratio is
-printed alongside for visibility) and fails — exit code 1 — if any
-median regresses more than ``--factor`` (default 2×) versus the
-checked-in ``BENCH_graphcore.json`` baseline.
+printed alongside for visibility) and the serving rows
+``route_batch_q{8,64}_n1024`` (median wall-clock of one stacked
+``almost_route_batch`` call, compared against the checked-in *batched*
+medians with the live sequential-vs-batched ratio printed alongside)
+and fails — exit code 1 — if any median regresses more than
+``--factor`` (default 2×) versus the checked-in
+``BENCH_graphcore.json`` baseline.
+
+When a checked-in ``BENCH_serving.json`` exists (written by
+``tools/bench_serving.py``), the gate also enforces that its recorded
+``batch_q64_speedup`` — batched serving throughput vs sequential
+one-shot routing — has not been committed below ``--serving-floor``
+(default 2.0; the acceptance run records ≥3×).
 
 Run from the repository root with ``src`` importable::
 
@@ -58,6 +68,20 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_graphcore.json",
         help="path to the checked-in baseline JSON",
     )
+    parser.add_argument(
+        "--serving-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="path to the checked-in serving benchmark JSON "
+        "(skipped when absent)",
+    )
+    parser.add_argument(
+        "--serving-floor",
+        type=float,
+        default=2.0,
+        help="minimum recorded batch_q64_speedup in the serving "
+        "baseline (guards against committing a degraded serving run)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())["metrics"]
@@ -72,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
             f"info {name}: serial={pair['serial_s']:.6f}s "
             f"sharded={pair['sharded_s']:.6f}s "
             f"(sharded is {ratio:.2f}x serial on this host)"
+        )
+    serving_rows = bench.measure_serving_benchmarks()
+    for name, pair in serving_rows.items():
+        measured[name] = pair["batched_s"]
+        ratio = pair["sequential_s"] / pair["batched_s"]
+        print(
+            f"info {name}: sequential={pair['sequential_s']:.6f}s "
+            f"batched={pair['batched_s']:.6f}s "
+            f"(batched is {ratio:.2f}x sequential on this host)"
         )
 
     failures = []
@@ -90,6 +123,30 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio > args.factor:
             failures.append(name)
+
+    # Serving-throughput floor: the checked-in BENCH_serving.json is a
+    # recorded acceptance run, not re-measured here (the full profile
+    # costs minutes); the gate keeps a degraded recording from landing.
+    if args.serving_baseline.exists():
+        serving = json.loads(args.serving_baseline.read_text())
+        speedup = serving.get("throughput", {}).get("batch_q64_speedup")
+        if speedup is None:
+            print(
+                f"SKIP serving floor: no batch_q64_speedup in "
+                f"{args.serving_baseline.name} "
+                f"(profile={serving.get('profile')!r})"
+            )
+        else:
+            status = "FAIL" if speedup < args.serving_floor else "ok"
+            print(
+                f"{status:>4} serving batch_q64_speedup: recorded="
+                f"{speedup:.2f}x (floor {args.serving_floor:.1f}x)"
+            )
+            if speedup < args.serving_floor:
+                failures.append("serving_batch_q64_speedup")
+    else:
+        print(f"SKIP serving floor: {args.serving_baseline.name} not found")
+
     if failures:
         print(f"benchmark regression in: {', '.join(failures)}")
         return 1
