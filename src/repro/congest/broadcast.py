@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from repro.errors import CongestModelError
 from repro.congest.model import CongestNetwork, Message, NodeContext
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree
@@ -199,7 +200,10 @@ def convergecast_sum(
         lambda v: ConvergecastSumNode(v, tree, edge_map, values[v])
     )
     root_state = result.states[tree.root]
-    assert root_state.result is not None
+    if root_state.result is None:
+        raise CongestModelError(
+            "convergecast finished without delivering a sum to the root"
+        )
     return float(root_state.result), result.rounds
 
 
@@ -217,5 +221,8 @@ def pipelined_aggregate(
         lambda v: PipelinedAggregationNode(v, tree, edge_map, values[v])
     )
     root_state = result.states[tree.root]
-    assert root_state.result is not None
+    if root_state.result is None:
+        raise CongestModelError(
+            "pipelined aggregation finished without a result at the root"
+        )
     return list(root_state.result), result.rounds

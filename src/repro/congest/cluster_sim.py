@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.cluster.cluster_graph import ClusterGraph
 from repro.congest.model import CongestNetwork, Message, NodeContext
-from repro.errors import GraphError
+from repro.errors import ConvergenceError, GraphError
 from repro.graphs import kernels
 
 __all__ = ["ClusterExchangeResult", "simulate_cluster_round", "cluster_flood_max"]
@@ -239,5 +239,6 @@ def cluster_flood_max(
         if not changed:
             break
     winners = set(known)
-    assert len(winners) == 1, "cluster flood-max did not converge"
+    if len(winners) != 1:
+        raise ConvergenceError("cluster flood-max did not converge")
     return winners.pop(), total_network_rounds

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
 __all__ = ["CostModel", "RoundLedger"]
@@ -73,7 +74,7 @@ class CostModel:
 
     def __init__(self, num_nodes: int, diameter: int) -> None:
         if num_nodes < 2:
-            raise ValueError("cost model needs at least 2 nodes")
+            raise GraphError("cost model needs at least 2 nodes")
         self.n = int(num_nodes)
         self.diameter = int(diameter)
         self.sqrt_n = math.sqrt(self.n)

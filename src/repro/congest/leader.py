@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import ConvergenceError
 from repro.congest.model import CongestNetwork, Message, NodeContext
 from repro.graphs.graph import Graph
 
@@ -68,5 +69,6 @@ def elect_leader(
     budget = diameter_bound if diameter_bound is not None else graph.num_nodes
     result = net.run(lambda v: FloodMaxNode(v, budget))
     leaders = {state.leader for state in result.states}
-    assert len(leaders) == 1, "flood-max did not converge"
+    if len(leaders) != 1:
+        raise ConvergenceError("flood-max did not converge")
     return leaders.pop(), result.rounds

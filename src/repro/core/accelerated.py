@@ -44,7 +44,8 @@ from repro.core.almost_route import (
     _sign_step_batch,
 )
 from repro.core.approximator import TreeCongestionApproximator
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, GraphError
+from repro.graphs.csr import WIDE_DTYPE
 from repro.graphs.graph import Graph
 from repro.parallel.config import ParallelConfig
 from repro.util.validation import check_demand, check_demand_batch
@@ -78,7 +79,7 @@ def accelerated_almost_route(
     alpha = max(1.0, float(approximator.alpha))
     eps = float(epsilon)
     if not 0 < eps <= 1:
-        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
     ln_n = math.log(max(n, 3))
     target = TARGET_FACTOR * ln_n / eps
     if max_iterations is None:
@@ -197,8 +198,8 @@ def accelerated_almost_route_batch(
         return BatchAlmostRouteResult(
             flows=np.zeros((0, m)),
             residuals=np.zeros((0, n)),
-            iterations=np.zeros(0, dtype=np.int64),
-            scalings=np.zeros(0, dtype=np.int64),
+            iterations=np.zeros(0, dtype=WIDE_DTYPE),
+            scalings=np.zeros(0, dtype=WIDE_DTYPE),
             potentials=np.zeros(0),
             deltas=np.zeros(0),
             converged=np.zeros(0, dtype=bool),
@@ -206,7 +207,7 @@ def accelerated_almost_route_batch(
     alpha = max(1.0, float(approximator.alpha))
     eps = float(epsilon)
     if not 0 < eps <= 1:
-        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
     ln_n = math.log(max(n, 3))
     target = TARGET_FACTOR * ln_n / eps
     if max_iterations is None:
@@ -234,7 +235,7 @@ def accelerated_almost_route_batch(
     ws.scalings[:] = 0
     ws.iterations[:] = 0
     ws.potential[:] = 0.0
-    momentum_age = np.zeros(num_queries, dtype=np.int64)
+    momentum_age = np.zeros(num_queries, dtype=WIDE_DTYPE)
     last_potential = np.full(num_queries, float("inf"))
     beta = np.empty(num_queries)
     live = ws.live

@@ -42,7 +42,9 @@ import numpy as np
 from repro.core.approximator import TreeCongestionApproximator
 from repro.core.softmax import smax_and_gradient, smax_and_gradient_batch
 from repro.errors import ConvergenceError, GraphError
+from repro.graphs.csr import WIDE_DTYPE
 from repro.graphs.graph import Graph
+from repro.hotpath import hot_kernel
 from repro.parallel.config import ParallelConfig
 from repro.util.validation import check_demand, check_demand_batch
 
@@ -188,9 +190,9 @@ class BatchRouteWorkspace:
         self.live = np.empty(q, dtype=bool)
         self.mask = np.empty(q, dtype=bool)
         self.converged = np.empty(q, dtype=bool)
-        self.iterations = np.empty(q, dtype=np.int64)
-        self.scalings = np.empty(q, dtype=np.int64)
-        self.inner_guard = np.empty(q, dtype=np.int64)
+        self.iterations = np.empty(q, dtype=WIDE_DTYPE)
+        self.scalings = np.empty(q, dtype=WIDE_DTYPE)
+        self.inner_guard = np.empty(q, dtype=WIDE_DTYPE)
 
     @classmethod
     def ensure(
@@ -220,6 +222,7 @@ class BatchRouteWorkspace:
         return workspace
 
 
+@hot_kernel
 def _evaluate(
     ws: RouteWorkspace,
     graph: Graph,
@@ -246,6 +249,7 @@ def _evaluate(
     return phi1 + phi2
 
 
+@hot_kernel
 def _rescale_cached(ws: RouteWorkspace) -> float:
     """One 17/16 sharpening step on the cached soft-max arguments.
 
@@ -261,6 +265,7 @@ def _rescale_cached(ws: RouteWorkspace) -> float:
     return phi1 + phi2
 
 
+@hot_kernel
 def _gradient_delta(
     ws: RouteWorkspace,
     approximator: TreeCongestionApproximator,
@@ -287,6 +292,7 @@ def _gradient_delta(
     return float(ws.step.sum())
 
 
+@hot_kernel
 def _sign_step(ws: RouteWorkspace, caps: np.ndarray, scale: float) -> None:
     """Fill ws.step with the movement ``sign(grad)·cap·scale``."""
     np.sign(ws.grad, out=ws.step)
@@ -301,6 +307,7 @@ def _sign_step(ws: RouteWorkspace, caps: np.ndarray, scale: float) -> None:
 # to the 1-D helper run on that query alone. Shared with
 # repro.core.accelerated so the two batched solvers cannot diverge.
 # ----------------------------------------------------------------------
+@hot_kernel
 def _evaluate_batch(
     ws: BatchRouteWorkspace,
     graph: Graph,
@@ -327,6 +334,7 @@ def _evaluate_batch(
     return ws.potential
 
 
+@hot_kernel
 def _rescale_masked(ws: BatchRouteWorkspace, mask: np.ndarray) -> np.ndarray:
     """One 17/16 sharpening step on the masked queries' cached soft-max
     arguments (rows outside ``mask`` multiply by exactly 1.0, which is
@@ -347,6 +355,7 @@ def _rescale_masked(ws: BatchRouteWorkspace, mask: np.ndarray) -> np.ndarray:
     return ws.potential
 
 
+@hot_kernel
 def _gradient_delta_batch(
     ws: BatchRouteWorkspace,
     approximator: TreeCongestionApproximator,
@@ -370,6 +379,7 @@ def _gradient_delta_batch(
     return ws.delta
 
 
+@hot_kernel
 def _sign_step_batch(
     ws: BatchRouteWorkspace, caps: np.ndarray, denom: float
 ) -> None:
@@ -449,7 +459,7 @@ def almost_route(
     alpha = max(1.0, float(approximator.alpha))
     eps = float(epsilon)
     if not 0 < eps <= 1:
-        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
     ln_n = math.log(max(n, 3))
     target = TARGET_FACTOR * ln_n / eps
     if max_iterations is None:
@@ -621,8 +631,8 @@ def almost_route_batch(
         return BatchAlmostRouteResult(
             flows=np.zeros((0, m)),
             residuals=np.zeros((0, n)),
-            iterations=np.zeros(0, dtype=np.int64),
-            scalings=np.zeros(0, dtype=np.int64),
+            iterations=np.zeros(0, dtype=WIDE_DTYPE),
+            scalings=np.zeros(0, dtype=WIDE_DTYPE),
             potentials=zero,
             deltas=zero.copy(),
             converged=np.zeros(0, dtype=bool),
@@ -630,7 +640,7 @@ def almost_route_batch(
     alpha = max(1.0, float(approximator.alpha))
     eps = float(epsilon)
     if not 0 < eps <= 1:
-        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
     ln_n = math.log(max(n, 3))
     target = TARGET_FACTOR * ln_n / eps
     if max_iterations is None:

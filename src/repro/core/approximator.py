@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.flow.mst import maximum_spanning_tree
 from repro.graphs import kernels
+from repro.graphs.csr import WIDE_DTYPE
 from repro.graphs.graph import Graph
 from repro.graphs.trees import RootedTree, bfs_tree, induced_cut_capacities
 from repro.core.stacked import StackedTreeOperator
@@ -71,7 +72,7 @@ class TreeOperator:
         self.tout = tree.euler_tout
         # Row book-keeping: one row per non-root node.
         self.row_nodes = np.flatnonzero(
-            np.asarray(tree.parent, dtype=np.int64) >= 0
+            np.asarray(tree.parent, dtype=WIDE_DTYPE) >= 0
         )
         caps = np.asarray(tree.capacity, dtype=float)[self.row_nodes]
         if np.any(caps <= 0):
@@ -306,12 +307,12 @@ def racke_sample_trees(
         lsst = akpw_spanning_tree(graph, lengths=lengths, rng=rng)
         cut_caps = induced_cut_capacities(graph, lsst.tree)
         rload = np.zeros(graph.num_edges)
-        tree_edges = np.asarray(lsst.tree_edges, dtype=np.int64)
+        tree_edges = np.asarray(lsst.tree_edges, dtype=WIDE_DTYPE)
         tails, heads = graph.edge_index_arrays()
         keys, first = kernels.pair_first_edge_index(
             tails[tree_edges], heads[tree_edges], graph.num_nodes
         )
-        parents = np.asarray(lsst.tree.parent, dtype=np.int64)
+        parents = np.asarray(lsst.tree.parent, dtype=WIDE_DTYPE)
         nonroot = np.flatnonzero(parents >= 0)
         eids = tree_edges[
             kernels.lookup_pairs(

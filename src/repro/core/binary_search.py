@@ -23,7 +23,7 @@ from repro.core.approximator import (
     build_congestion_approximator,
 )
 from repro.core.maxflow import ApproxFlow, min_congestion_flow
-from repro.errors import InvalidDemandError
+from repro.errors import ConvergenceError, InvalidDemandError
 from repro.graphs.graph import Graph
 from repro.parallel.config import ParallelConfig
 from repro.util.rng import as_generator
@@ -147,7 +147,10 @@ def max_flow_binary_search(
         best_value = 1.0 / routing.congestion
         best_flow = routing.flow / routing.congestion
         best_routing = routing
-    assert best_routing is not None
+    if best_routing is None:
+        raise ConvergenceError(
+            "binary search finished without a feasible routing"
+        )
     return BinarySearchMaxFlow(
         value=best_value,
         flow=best_flow,

@@ -40,6 +40,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import GraphError
+from repro.hotpath import hot_kernel
+
 __all__ = [
     "smax",
     "smax_gradient",
@@ -73,6 +76,7 @@ def smax_gradient(y: np.ndarray) -> np.ndarray:
     return (pos - neg) / (pos.sum() + neg.sum())
 
 
+@hot_kernel
 def smax_and_gradient(
     y: np.ndarray,
     out: np.ndarray | None = None,
@@ -94,18 +98,20 @@ def smax_and_gradient(
     if y.size == 0:
         # Slice (not return) the buffer so the result is always a
         # correctly-shaped empty gradient, never stale buffer content.
-        return float("-inf"), (np.zeros(0) if out is None else out[:0])
+        return float("-inf"), (
+            np.zeros(0) if out is None else out[:0]  # alloc-ok (empty input)
+        )
     for name, buf in (("out", out), ("scratch", scratch)):
         # y is read after the buffers are written; aliasing would
         # silently corrupt both the value and the gradient.
         if buf is not None and np.may_share_memory(buf, y):
-            raise ValueError(f"{name} buffer must not alias y")
+            raise GraphError(f"{name} buffer must not alias y")
     k = y.size
     m = float(np.abs(y).max())
     if scratch is not None and scratch.shape == (k,):
         # Legacy split path: two buffers, two exp calls. Identical
         # per-element operations and summation fold as the fused path.
-        pos = out if out is not None else np.empty_like(y)
+        pos = out if out is not None else np.empty_like(y)  # alloc-ok (unbuffered fallback)
         neg = scratch
         np.subtract(y, m, out=pos)
         np.exp(pos, out=pos)
@@ -117,7 +123,7 @@ def smax_and_gradient(
         np.subtract(pos, neg, out=pos)
         np.true_divide(pos, total, out=pos)
         return value, pos
-    pair = scratch if scratch is not None else np.empty(2 * k)
+    pair = scratch if scratch is not None else np.empty(2 * k)  # alloc-ok (unbuffered fallback)
     pos = pair[:k]
     neg = pair[k:]
     np.subtract(y, m, out=pos)
@@ -127,12 +133,13 @@ def smax_and_gradient(
     np.exp(pair, out=pair)
     total = pos.sum() + neg.sum()
     value = m + float(np.log(total))
-    grad = out if out is not None else np.empty_like(y)
+    grad = out if out is not None else np.empty_like(y)  # alloc-ok (unbuffered fallback)
     np.subtract(pos, neg, out=grad)
     np.true_divide(grad, total, out=grad)
     return value, grad
 
 
+@hot_kernel
 def smax_and_gradient_batch(
     y: np.ndarray,
     out: np.ndarray | None = None,
@@ -160,18 +167,30 @@ def smax_and_gradient_batch(
     """
     y = np.asarray(y, dtype=float)
     if y.ndim != 2:
-        raise ValueError(f"expected a (Q, k) plane, got shape {y.shape}")
+        raise GraphError(f"expected a (Q, k) plane, got shape {y.shape}")
     num_queries, k = y.shape
-    values = values_out if values_out is not None else np.empty(num_queries)
+    values = (
+        values_out
+        if values_out is not None
+        else np.empty(num_queries)  # alloc-ok (unbuffered fallback)
+    )
     if k == 0:
         values[:] = float("-inf")
-        return values, (np.zeros((num_queries, 0)) if out is None else out[:, :0])
+        return values, (
+            np.zeros((num_queries, 0))  # alloc-ok (empty input)
+            if out is None
+            else out[:, :0]
+        )
     for name, buf in (("out", out), ("scratch", scratch)):
         if buf is not None and np.may_share_memory(buf, y):
-            raise ValueError(f"{name} buffer must not alias y")
-    pair = scratch if scratch is not None else np.empty((num_queries, 2 * k))
+            raise GraphError(f"{name} buffer must not alias y")
+    pair = (
+        scratch
+        if scratch is not None
+        else np.empty((num_queries, 2 * k))  # alloc-ok (unbuffered fallback)
+    )
     if pair.shape != (num_queries, 2 * k):
-        raise ValueError(
+        raise GraphError(
             f"scratch must have shape {(num_queries, 2 * k)}, "
             f"got {pair.shape}"
         )
@@ -188,7 +207,7 @@ def smax_and_gradient_batch(
     total = pos.sum(axis=1) + neg.sum(axis=1)
     np.log(total, out=values)
     np.add(values, m, out=values)
-    grad = out if out is not None else np.empty_like(y)
+    grad = out if out is not None else np.empty_like(y)  # alloc-ok (unbuffered fallback)
     np.subtract(pos, neg, out=grad)
     np.true_divide(grad, total[:, None], out=grad)
     return values, grad

@@ -86,6 +86,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graphs.csr import WIDE_DTYPE
+from repro.hotpath import hot_kernel
 from repro.parallel.config import ParallelConfig, resolve_config
 from repro.parallel.plan import ShardPlan
 from repro.parallel.pool import get_pool
@@ -127,6 +129,7 @@ class _StackedShard:
     pots: np.ndarray
 
 
+@hot_kernel
 def _apply_shard(
     order: np.ndarray,
     tin_rows: np.ndarray,
@@ -146,11 +149,11 @@ def _apply_shard(
     without them (process pool) it allocates and returns fresh arrays.
     """
     if prefix is None:
-        prefix = np.empty((trees, n))
+        prefix = np.empty((trees, n))  # alloc-ok (process-pool shard fallback)
     if row_scratch is None:
-        row_scratch = np.empty(len(tin_rows))
+        row_scratch = np.empty(len(tin_rows))  # alloc-ok (process-pool shard fallback)
     if target is None:
-        target = np.empty(len(tin_rows))
+        target = np.empty(len(tin_rows))  # alloc-ok (process-pool shard fallback)
     flat = prefix.reshape(-1)
     np.take(demand, order, out=flat, mode="clip")
     np.cumsum(prefix, axis=1, out=prefix)
@@ -161,6 +164,7 @@ def _apply_shard(
     return target
 
 
+@hot_kernel
 def _apply_shard_batch(
     order: np.ndarray,
     tin_rows: np.ndarray,
@@ -179,11 +183,11 @@ def _apply_shard_batch(
     ``_apply_shard`` on ``demand_plane[q]``.
     """
     num_queries = demand_plane.shape[0]
-    prefix = np.empty((num_queries, trees * n))
+    prefix = np.empty((num_queries, trees * n))  # alloc-ok (per-call plane, pooled upstream)
     np.take(demand_plane, order, axis=1, out=prefix, mode="clip")
     np.cumsum(prefix.reshape(num_queries, trees, n), axis=2, out=prefix.reshape(num_queries, trees, n))
-    target = np.empty((num_queries, len(tin_rows)))
-    scratch = np.empty_like(target)
+    target = np.empty((num_queries, len(tin_rows)))  # alloc-ok (per-call plane, pooled upstream)
+    scratch = np.empty_like(target)  # alloc-ok (per-call plane, pooled upstream)
     np.take(prefix, tout_rows, axis=1, out=target, mode="clip")
     np.take(prefix, tin_rows, axis=1, out=scratch, mode="clip")
     np.subtract(target, scratch, out=target)
@@ -191,6 +195,7 @@ def _apply_shard_batch(
     return target
 
 
+@hot_kernel
 def _apply_transpose_shard_batch(
     scatter_idx: np.ndarray,
     row_plane: np.ndarray,
@@ -209,22 +214,23 @@ def _apply_transpose_shard_batch(
     ``np.bincount`` serves all queries bit-identically.
     """
     num_queries, rows = row_plane.shape
-    signed = np.empty((num_queries, 2 * rows))
+    signed = np.empty((num_queries, 2 * rows))  # alloc-ok (per-call plane, pooled upstream)
     np.multiply(row_plane, inv_capacity, out=signed[:, :rows])
     np.negative(signed[:, :rows], out=signed[:, rows:])
     diff_size = trees * (n + 1)
-    offsets = np.arange(num_queries, dtype=np.int64) * diff_size
+    offsets = np.arange(num_queries, dtype=WIDE_DTYPE) * diff_size  # alloc-ok (Q-length index ramp)
     flat_idx = (scatter_idx[None, :] + offsets[:, None]).ravel()
     diff = np.bincount(
         flat_idx, weights=signed.ravel(), minlength=num_queries * diff_size
     ).reshape(num_queries, trees, n + 1)
-    cum = np.empty((num_queries, trees, n))
+    cum = np.empty((num_queries, trees, n))  # alloc-ok (per-call plane, pooled upstream)
     np.cumsum(diff[:, :, :-1], axis=2, out=cum)
-    pots = np.empty((num_queries, trees * n))
+    pots = np.empty((num_queries, trees * n))  # alloc-ok (per-call plane, pooled upstream)
     np.take(cum.reshape(num_queries, trees * n), pot_rows, axis=1, out=pots, mode="clip")
     return pots.reshape(num_queries, trees, n)
 
 
+@hot_kernel
 def _apply_transpose_shard(
     scatter_idx: np.ndarray,
     row_values: np.ndarray,
@@ -246,11 +252,11 @@ def _apply_transpose_shard(
     """
     rows = len(row_values)
     if signed is None:
-        signed = np.empty(2 * rows)
+        signed = np.empty(2 * rows)  # alloc-ok (process-pool shard fallback)
     if cum is None:
-        cum = np.empty((trees, n))
+        cum = np.empty((trees, n))  # alloc-ok (process-pool shard fallback)
     if pots is None:
-        pots = np.empty((trees, n))
+        pots = np.empty((trees, n))  # alloc-ok (process-pool shard fallback)
     np.multiply(row_values, inv_capacity, out=signed[:rows])
     np.negative(signed[:rows], out=signed[rows:])
     diff = np.bincount(
@@ -284,7 +290,7 @@ class StackedTreeOperator:
                 )
         T = self.num_trees
         if T == 0:
-            self._order = np.zeros(0, dtype=np.int64)
+            self._order = np.zeros(0, dtype=WIDE_DTYPE)
         else:
             self._order = np.concatenate([op.order for op in operators])
 
@@ -321,8 +327,8 @@ class StackedTreeOperator:
         # Per-tree row boundaries: tree t owns rows
         # _row_offsets[t] : _row_offsets[t + 1] — the shard planner
         # balances tree blocks by these counts.
-        self._row_offsets = np.zeros(T + 1, dtype=np.int64)
-        np.cumsum(np.asarray(row_counts, dtype=np.int64), out=self._row_offsets[1:])
+        self._row_offsets = np.zeros(T + 1, dtype=WIDE_DTYPE)
+        np.cumsum(np.asarray(row_counts, dtype=WIDE_DTYPE), out=self._row_offsets[1:])
         self._shard_cache: dict[int, list[_StackedShard]] = {}
 
         # Transpose scatter targets: fixed per operator, one array
@@ -351,7 +357,7 @@ class StackedTreeOperator:
         scratch = self._batch_cache.get(num_queries)
         if scratch is None:
             T, n, R = self.num_trees, self.num_nodes, self.num_rows
-            offsets = np.arange(num_queries, dtype=np.int64) * self._diff_size
+            offsets = np.arange(num_queries, dtype=WIDE_DTYPE) * self._diff_size
             scatter_flat = (self._scatter_idx[None, :] + offsets[:, None]).ravel()
             scatter_flat.setflags(write=False)
             scratch = {
@@ -434,6 +440,7 @@ class StackedTreeOperator:
             return None
         return shards, config
 
+    @hot_kernel
     def apply(
         self,
         demand: np.ndarray,
@@ -457,7 +464,7 @@ class StackedTreeOperator:
                 f"({self.num_nodes},)"
             )
         if out is None:
-            out = np.empty(self.num_rows)
+            out = np.empty(self.num_rows)  # alloc-ok (unbuffered fallback)
         if self.num_rows == 0:
             return out
         sharded = self._sharded_plan(parallel)
@@ -520,6 +527,7 @@ class StackedTreeOperator:
         np.multiply(out, self._row_inv_capacity, out=out)
         return out
 
+    @hot_kernel
     def apply_transpose(
         self,
         row_values: np.ndarray,
@@ -539,7 +547,7 @@ class StackedTreeOperator:
                 f"({self.num_rows},)"
             )
         if out is None:
-            out = np.empty(self.num_nodes)
+            out = np.empty(self.num_nodes)  # alloc-ok (unbuffered fallback)
         if self.num_rows == 0:
             out[:] = 0.0
             return out
@@ -604,6 +612,7 @@ class StackedTreeOperator:
             np.add(out, self._pots[t], out=out)
         return out
 
+    @hot_kernel
     def estimate(
         self, demand: np.ndarray, parallel: ParallelConfig | None = None
     ) -> float:
@@ -630,6 +639,7 @@ class StackedTreeOperator:
             return None
         return shards, config
 
+    @hot_kernel
     def apply_batch(
         self,
         demand_plane: np.ndarray,
@@ -654,7 +664,7 @@ class StackedTreeOperator:
             )
         num_queries = demand_plane.shape[0]
         if out is None:
-            out = np.empty((num_queries, self.num_rows))
+            out = np.empty((num_queries, self.num_rows))  # alloc-ok (unbuffered fallback)
         if self.num_rows == 0 or num_queries == 0:
             return out
         sharded = self._sharded_plan_batch(parallel, num_queries)
@@ -692,6 +702,7 @@ class StackedTreeOperator:
         np.multiply(out, self._row_inv_capacity, out=out)
         return out
 
+    @hot_kernel
     def apply_transpose_batch(
         self,
         row_plane: np.ndarray,
@@ -714,7 +725,7 @@ class StackedTreeOperator:
             )
         num_queries = row_plane.shape[0]
         if out is None:
-            out = np.empty((num_queries, self.num_nodes))
+            out = np.empty((num_queries, self.num_nodes))  # alloc-ok (unbuffered fallback)
         if num_queries == 0:
             return out
         if self.num_rows == 0:
@@ -773,6 +784,7 @@ class StackedTreeOperator:
             np.add(out, pots[:, t], out=out)
         return out
 
+    @hot_kernel
     def estimate_batch(
         self,
         demand_plane: np.ndarray,
@@ -783,7 +795,7 @@ class StackedTreeOperator:
         bit-identical to ``estimate(demand_plane[q])``."""
         num_queries = np.asarray(demand_plane).shape[0]
         if self.num_rows == 0:
-            result = out if out is not None else np.empty(num_queries)
+            result = out if out is not None else np.empty(num_queries)  # alloc-ok (unbuffered fallback)
             result[:] = 0.0
             return result
         row_buf = self._batch_scratch(num_queries)["row_buf"]
@@ -798,5 +810,5 @@ class StackedTreeOperator:
 
 def _concat_int(parts: list[np.ndarray]) -> np.ndarray:
     if not parts:
-        return np.zeros(0, dtype=np.int64)
-    return np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+        return np.zeros(0, dtype=WIDE_DTYPE)
+    return np.concatenate([np.asarray(p, dtype=WIDE_DTYPE) for p in parts])

@@ -49,18 +49,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dtypes import INDEX_DTYPE, MAX_INDEX, WIDE_DTYPE
 from repro.parallel.config import resolve_config
 from repro.parallel.plan import ShardPlan
 from repro.parallel.pool import get_pool
 
-__all__ = ["CSRAdjacency", "build_csr", "INDEX_DTYPE", "MAX_INDEX"]
-
-#: Storage dtype for node and edge ids across the array substrate.
-INDEX_DTYPE = np.int32
-
-#: Largest representable id; the ``Graph`` boundary guards against
-#: node/edge counts ever reaching this (2^31 − 1 ≈ 2·10^9 incidences).
-MAX_INDEX = int(np.iinfo(INDEX_DTYPE).max)
+# Historically defined here; re-exported so the whole tree keeps
+# importing the dtype lanes alongside the CSR types. The definitions
+# moved to the dependency-leaf :mod:`repro.dtypes` so that
+# :mod:`repro.parallel` (which this module imports) can name them too.
+__all__ = ["CSRAdjacency", "build_csr", "INDEX_DTYPE", "MAX_INDEX", "WIDE_DTYPE"]
 
 
 @dataclass(frozen=True)
@@ -157,7 +155,7 @@ def build_csr(
     other[1::2] = edge_u
     incidence_eid = np.repeat(np.arange(m, dtype=INDEX_DTYPE), 2)
     counts = np.bincount(endpoint, minlength=num_nodes)
-    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    indptr = np.zeros(num_nodes + 1, dtype=WIDE_DTYPE)
     np.cumsum(counts, out=indptr[1:])
 
     config = resolve_config(parallel)

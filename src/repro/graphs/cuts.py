@@ -114,5 +114,6 @@ def sparsest_cut_brute_force(
         if value > best_value:
             best_value = value
             best_side = side
-    assert best_side is not None
+    if best_side is None:
+        raise GraphError("no non-trivial cut side among the candidates")
     return best_side, best_value

@@ -47,7 +47,14 @@ import numpy as np
 
 from repro.errors import DisconnectedGraphError, GraphError
 from repro.graphs import kernels
-from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, MAX_INDEX, build_csr
+from repro.graphs.csr import (
+    CSRAdjacency,
+    INDEX_DTYPE,
+    MAX_INDEX,
+    WIDE_DTYPE,
+    build_csr,
+)
+from repro.hotpath import hot_kernel
 from repro.parallel.arena import tag_array_version
 
 __all__ = ["Edge", "Graph"]
@@ -130,8 +137,8 @@ class Graph:
         if triples:
             arr = np.asarray(triples, dtype=float)
             self._append_bulk(
-                arr[:, 0].astype(np.int64),
-                arr[:, 1].astype(np.int64),
+                arr[:, 0].astype(WIDE_DTYPE),
+                arr[:, 1].astype(WIDE_DTYPE),
                 arr[:, 2],
             )
 
@@ -246,8 +253,8 @@ class Graph:
         graph = cls(num_nodes)
         if len(edge_u):
             graph._append_bulk(
-                np.asarray(edge_u, dtype=np.int64),
-                np.asarray(edge_v, dtype=np.int64),
+                np.asarray(edge_u, dtype=WIDE_DTYPE),
+                np.asarray(edge_v, dtype=WIDE_DTYPE),
                 np.asarray(capacity, dtype=float),
             )
         return graph
@@ -421,11 +428,12 @@ class Graph:
         if self._excess_plan is None:
             tails, heads = self.edge_index_arrays()
             idx = np.concatenate(
-                (heads.astype(np.int64), tails.astype(np.int64))
+                (heads.astype(WIDE_DTYPE), tails.astype(WIDE_DTYPE))
             )
             self._excess_plan = (idx, np.empty(2 * self._m))
         return self._excess_plan
 
+    @hot_kernel
     def excess(self, flow: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Apply the node-edge incidence operator: return ``B f``.
 
@@ -445,7 +453,7 @@ class Graph:
             )
         if self._m == 0:
             if out is None:
-                return np.zeros(self._n)
+                return np.zeros(self._n)  # alloc-ok (empty-graph edge case)
             out[:] = 0.0
             return out
         idx, signed = self._scatter_plan()
@@ -466,12 +474,13 @@ class Graph:
         plan = self._excess_batch_plans.get(num_queries)
         if plan is None:
             idx, _ = self._scatter_plan()
-            offsets = np.arange(num_queries, dtype=np.int64) * self._n
+            offsets = np.arange(num_queries, dtype=WIDE_DTYPE) * self._n
             flat_idx = (idx[None, :] + offsets[:, None]).ravel()
             plan = (flat_idx, np.empty((num_queries, 2 * self._m)))
             self._excess_batch_plans[num_queries] = plan
         return plan
 
+    @hot_kernel
     def excess_batch(
         self, flow_plane: np.ndarray, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -491,7 +500,7 @@ class Graph:
             )
         num_queries = flow_plane.shape[0]
         if out is None:
-            out = np.empty((num_queries, self._n))
+            out = np.empty((num_queries, self._n))  # alloc-ok (unbuffered fallback)
         if self._m == 0 or num_queries == 0:
             out[:] = 0.0
             return out
@@ -626,7 +635,7 @@ class Graph:
             best = 0
             for start in range(0, self._n, batch):
                 sources = np.arange(
-                    start, min(start + batch, self._n), dtype=np.int64
+                    start, min(start + batch, self._n), dtype=WIDE_DTYPE
                 )
                 best = max(
                     best,
@@ -728,7 +737,7 @@ class Graph:
                     adj[cu].append((cv, j))
                     adj[cv].append((cu, j))
                     j += 1
-            new_cap = self._cap[:m][np.asarray(edge_origin, dtype=np.int64)]
+            new_cap = self._cap[:m][np.asarray(edge_origin, dtype=WIDE_DTYPE)]
             quotient = Graph._from_trusted_arrays(
                 k,
                 np.asarray(new_u, dtype=INDEX_DTYPE),
@@ -794,7 +803,7 @@ class Graph:
         edges (edge ids are *not* preserved)."""
         ids = np.asarray(
             edge_ids if isinstance(edge_ids, np.ndarray) else list(edge_ids),
-            dtype=np.int64,
+            dtype=WIDE_DTYPE,
         )
         m = self._m
         return Graph._from_trusted_arrays(

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, build_csr
+from repro.graphs.csr import CSRAdjacency, INDEX_DTYPE, WIDE_DTYPE, build_csr
 from repro.parallel.config import ParallelConfig, resolve_config
 from repro.parallel.plan import BfsShardState, ShardPlan
 from repro.parallel.pool import get_pool
@@ -75,11 +75,11 @@ def _ragged_arrays(
     counts = indptr[nodes + 1] - starts
     total = int(counts.sum())
     if total == 0:
-        empty = np.empty(0, dtype=np.int64)
+        empty = np.empty(0, dtype=WIDE_DTYPE)
         return empty, empty.copy(), empty.copy()
     # Positions: for each row, starts[r] .. starts[r] + counts[r] - 1.
     offsets = np.repeat(np.cumsum(counts) - counts, counts)
-    idx = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    idx = np.arange(total, dtype=WIDE_DTYPE) - offsets + np.repeat(starts, counts)
     origin = np.repeat(nodes, counts)
     return origin, neighbor[idx], edge_id[idx]
 
@@ -179,8 +179,8 @@ def bfs_levels(
     config = resolve_config(parallel)
     sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
     shard_state = BfsShardState(config.workers) if sharded else None
-    dist = np.full(csr.num_nodes, -1, dtype=np.int64)
-    frontier = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    dist = np.full(csr.num_nodes, -1, dtype=WIDE_DTYPE)
+    frontier = np.atleast_1d(np.asarray(sources, dtype=WIDE_DTYPE))
     dist[frontier] = 0
     level = 0
     while frontier.size:
@@ -232,12 +232,12 @@ def bfs_parents(
     sharded = config.should_shard(csr.num_nodes + len(csr.neighbor))
     shard_state = BfsShardState(config.workers) if sharded else None
     n = csr.num_nodes
-    dist = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -2, dtype=np.int64)
-    parent_edge = np.full(n, -1, dtype=np.int64)
+    dist = np.full(n, -1, dtype=WIDE_DTYPE)
+    parent = np.full(n, -2, dtype=WIDE_DTYPE)
+    parent_edge = np.full(n, -1, dtype=WIDE_DTYPE)
     dist[root] = 0
     parent[root] = -1
-    frontier = np.array([root], dtype=np.int64)
+    frontier = np.array([root], dtype=WIDE_DTYPE)
     level = 0
     while frontier.size:
         if sharded:
@@ -283,12 +283,12 @@ def _hop_block_shard(
     worker pools can receive it.
     """
     n = len(indptr) - 1
-    sources = np.asarray(sources, dtype=np.int64)
+    sources = np.asarray(sources, dtype=WIDE_DTYPE)
     k = len(sources)
-    dist = np.full((k, n), -1, dtype=np.int64)
+    dist = np.full((k, n), -1, dtype=WIDE_DTYPE)
     dist[np.arange(k), sources] = 0
     flat = dist.ravel()
-    src = np.arange(k, dtype=np.int64)
+    src = np.arange(k, dtype=WIDE_DTYPE)
     nodes = sources.copy()
     level = 0
     while nodes.size:
@@ -326,7 +326,7 @@ def multi_source_hop_distances(
         BFS level, O(len(sources)·n) memory — batch the sources to
         bound memory on large graphs.
     """
-    sources = np.asarray(sources, dtype=np.int64)
+    sources = np.asarray(sources, dtype=WIDE_DTYPE)
     k = len(sources)
     config = resolve_config(parallel)
     if k >= 2 and config.should_shard(
@@ -360,9 +360,9 @@ def all_pairs_hop_distances(
     """
     n = csr.num_nodes
     batch = max(1, max_batch_cells // max(n, 1))
-    out = np.empty((n, n), dtype=np.int64)
+    out = np.empty((n, n), dtype=WIDE_DTYPE)
     for start in range(0, n, batch):
-        sources = np.arange(start, min(start + batch, n), dtype=np.int64)
+        sources = np.arange(start, min(start + batch, n), dtype=WIDE_DTYPE)
         out[start : start + len(sources)] = multi_source_hop_distances(
             csr, sources, parallel=parallel
         )
@@ -383,7 +383,7 @@ def connected_components(csr: CSRAdjacency) -> list[list[int]]:
             continue
         seen[start] = True
         component = [start]
-        frontier = np.array([start], dtype=np.int64)
+        frontier = np.array([start], dtype=WIDE_DTYPE)
         while frontier.size:
             _, nbrs, _ = ragged_rows(csr, frontier)
             nbrs = nbrs[~seen[nbrs]]
@@ -406,7 +406,7 @@ def compact_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:
         position ``v``; labels are numbered in order of first
         appearance, matching the legacy dict-based compaction.
     """
-    labels = np.asarray(labels, dtype=np.int64)
+    labels = np.asarray(labels, dtype=WIDE_DTYPE)
     _, first_idx, inverse = np.unique(
         labels, return_index=True, return_inverse=True
     )
@@ -498,7 +498,7 @@ def pair_first_edge_index(
     hi = np.maximum(edge_u, edge_v)
     key = lo * np.int64(num_nodes) + hi
     keys, first_idx = np.unique(key, return_index=True)
-    return keys, first_idx.astype(np.int64)
+    return keys, first_idx.astype(WIDE_DTYPE)
 
 
 def lookup_pairs(
@@ -514,12 +514,12 @@ def lookup_pairs(
         Per queried pair, the smallest edge id joining it, or ``-1``
         when no edge does.
     """
-    us = np.asarray(us, dtype=np.int64)
-    vs = np.asarray(vs, dtype=np.int64)
+    us = np.asarray(us, dtype=WIDE_DTYPE)
+    vs = np.asarray(vs, dtype=WIDE_DTYPE)
     query = np.minimum(us, vs) * np.int64(num_nodes) + np.maximum(us, vs)
     pos = np.searchsorted(keys, query)
     pos_clipped = np.minimum(pos, len(keys) - 1) if len(keys) else pos
-    out = np.full(len(query), -1, dtype=np.int64)
+    out = np.full(len(query), -1, dtype=WIDE_DTYPE)
     if len(keys):
         hit = keys[pos_clipped] == query
         out[hit] = first_eid[pos_clipped[hit]]
@@ -534,7 +534,7 @@ def group_by_key(
     Within a group, values keep their input order (stable). Returns one
     array per group (possibly empty).
     """
-    keys = np.asarray(keys, dtype=np.int64)
+    keys = np.asarray(keys, dtype=WIDE_DTYPE)
     order = np.argsort(keys, kind="stable")
     sorted_vals = np.asarray(values)[order]
     counts = np.bincount(keys, minlength=num_groups)

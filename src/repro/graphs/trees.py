@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.errors import TreeError
 from repro.graphs import kernels
-from repro.graphs.csr import build_csr
+from repro.graphs.csr import WIDE_DTYPE, build_csr
 from repro.graphs.graph import SMALL_GRAPH_LIMIT, Graph
 
 __all__ = [
@@ -67,11 +67,11 @@ class RootedTree:
         capacity: Sequence[float] | None = None,
     ) -> None:
         if isinstance(parent, np.ndarray):
-            self._parent_arr = parent.astype(np.int64)
+            self._parent_arr = parent.astype(WIDE_DTYPE)
             self.parent = self._parent_arr.tolist()
         else:
             self.parent = [int(p) for p in parent]
-            self._parent_arr = np.asarray(self.parent, dtype=np.int64)
+            self._parent_arr = np.asarray(self.parent, dtype=WIDE_DTYPE)
         n = len(self.parent)
         roots = np.flatnonzero(self._parent_arr < 0)
         if len(roots) != 1:
@@ -155,9 +155,9 @@ class RootedTree:
                     stack.append(~child)
                     stack.append(child)
             self._euler = (
-                np.asarray(order, dtype=np.int64),
-                np.asarray(tin, dtype=np.int64),
-                np.asarray(tout, dtype=np.int64),
+                np.asarray(order, dtype=WIDE_DTYPE),
+                np.asarray(tin, dtype=WIDE_DTYPE),
+                np.asarray(tout, dtype=WIDE_DTYPE),
             )
         return self._euler
 
@@ -189,7 +189,7 @@ class RootedTree:
     def depths(self) -> np.ndarray:
         """Hop depth of every node below the root (int64 array)."""
         if self._depth_arr is None:
-            self._depth_arr = np.asarray(self._depth_list, dtype=np.int64)
+            self._depth_arr = np.asarray(self._depth_list, dtype=WIDE_DTYPE)
         return self._depth_arr
 
     def topological_order(self) -> list[int]:
@@ -241,7 +241,7 @@ class RootedTree:
             n = self.num_nodes
             height = max(self._depth_list)
             levels = max(1, height.bit_length())
-            up = np.empty((levels, n), dtype=np.int64)
+            up = np.empty((levels, n), dtype=WIDE_DTYPE)
             # Treat the root as its own ancestor so jumps saturate.
             base = self._parent_arr.copy()
             base[self.root] = self.root
@@ -253,8 +253,8 @@ class RootedTree:
 
     def lca_batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Vectorized LCA for pair arrays (binary lifting)."""
-        us = np.asarray(us, dtype=np.int64).copy()
-        vs = np.asarray(vs, dtype=np.int64).copy()
+        us = np.asarray(us, dtype=WIDE_DTYPE).copy()
+        vs = np.asarray(vs, dtype=WIDE_DTYPE).copy()
         up = self._lifting_table()
         depth = self.depths
         # Lift the deeper endpoint up to the shallower one's depth.
@@ -405,7 +405,7 @@ def spanning_tree_from_edges(
     n = graph.num_nodes
     ids = np.asarray(
         edge_ids if isinstance(edge_ids, np.ndarray) else list(edge_ids),
-        dtype=np.int64,
+        dtype=WIDE_DTYPE,
     )
     if len(ids) != n - 1:
         raise TreeError(f"spanning tree needs {n - 1} edges, got {len(ids)}")
@@ -492,8 +492,8 @@ def tree_route_demand(
     keys, first_eid = kernels.pair_first_edge_index(
         tails, heads, graph.num_nodes
     )
-    nonroot = np.flatnonzero(np.asarray(tree.parent, dtype=np.int64) >= 0)
-    parents = np.asarray(tree.parent, dtype=np.int64)[nonroot]
+    nonroot = np.flatnonzero(np.asarray(tree.parent, dtype=WIDE_DTYPE) >= 0)
+    parents = np.asarray(tree.parent, dtype=WIDE_DTYPE)[nonroot]
     eids = kernels.lookup_pairs(keys, first_eid, graph.num_nodes, nonroot, parents)
     if np.any(eids < 0):
         v = int(nonroot[int(np.argmax(eids < 0))])

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import GraphError
 from repro.graphs.graph import Graph
 from repro.lsst.split_graph import SplitGraphResult, split_graph
 from repro.util.rng import as_generator
@@ -124,7 +125,10 @@ def partition(
                 cut_fraction_per_class=fractions[1:],
                 phases=phases,
             )
-    assert best is not None
+    if best is None:
+        raise GraphError(
+            "partition restarts exhausted without recording a best split"
+        )
     return PartitionResult(
         split=best[1],
         restarts=max_restarts,

@@ -186,6 +186,19 @@ class SharedArena:
             disables the budget).
     """
 
+    #: Lock contract, machine-checked by repolint's lock-discipline
+    #: rule: every lexical write to these attributes outside __init__
+    #: must sit inside ``with self._lock`` (GC finalizers can fire on
+    #: any thread, and eviction re-enters from callback context).
+    _GUARDED_BY = (
+        "_entries",
+        "_tick",
+        "total_bytes",
+        "export_count",
+        "reuse_count",
+        "max_bytes",
+    )
+
     def __init__(self, max_bytes: int | None = ARENA_BYTE_BUDGET) -> None:
         self._entries: dict[int, _ArenaEntry] = {}
         # RLock: eviction runs an entry's finalize callback, which

@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.errors import GraphError
 
@@ -96,7 +96,9 @@ class ParallelConfig:
         return replace(self, workers=workers)
 
     @classmethod
-    def from_env(cls, environ=None) -> "ParallelConfig":
+    def from_env(
+        cls, environ: Mapping[str, str] | None = None
+    ) -> "ParallelConfig":
         """Build the config named by ``REPRO_WORKERS`` / ``REPRO_BACKEND``.
 
         ``REPRO_WORKERS`` unset or empty yields the serial config; when

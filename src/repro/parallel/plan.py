@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dtypes import WIDE_DTYPE
+
 __all__ = ["BfsShardState", "ShardPlan"]
 
 
@@ -62,7 +64,7 @@ class ShardPlan:
     @staticmethod
     def _from_raw_bounds(raw: np.ndarray, total: int) -> "ShardPlan":
         bounds = np.unique(
-            np.concatenate(([0], np.asarray(raw, dtype=np.int64), [total]))
+            np.concatenate(([0], np.asarray(raw, dtype=WIDE_DTYPE), [total]))
         )
         return ShardPlan(bounds=bounds)
 
@@ -72,9 +74,9 @@ class ShardPlan:
         contiguous ranges."""
         total = int(total)
         if total <= 0:
-            return cls(bounds=np.zeros(1, dtype=np.int64))
+            return cls(bounds=np.zeros(1, dtype=WIDE_DTYPE))
         num_shards = max(1, min(int(num_shards), total))
-        raw = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
+        raw = (np.arange(1, num_shards, dtype=WIDE_DTYPE) * total) // num_shards
         return cls._from_raw_bounds(raw, total)
 
     @classmethod
@@ -90,10 +92,10 @@ class ShardPlan:
         weights = np.asarray(weights)
         total = len(weights)
         if total <= 0:
-            return cls(bounds=np.zeros(1, dtype=np.int64))
+            return cls(bounds=np.zeros(1, dtype=WIDE_DTYPE))
         num_shards = max(1, min(int(num_shards), total))
         if num_shards == 1:
-            return cls(bounds=np.array([0, total], dtype=np.int64))
+            return cls(bounds=np.array([0, total], dtype=WIDE_DTYPE))
         cumulative = np.cumsum(weights, dtype=np.float64)
         mass = float(cumulative[-1])
         if mass <= 0:
@@ -160,9 +162,9 @@ class BfsShardState:
         """The shard plan for this level's frontier."""
         total = len(frontier)
         if total <= 0:
-            return ShardPlan(bounds=np.zeros(1, dtype=np.int64))
+            return ShardPlan(bounds=np.zeros(1, dtype=WIDE_DTYPE))
         if self._fractions is not None and total >= self.num_shards:
-            raw = (self._fractions * total).astype(np.int64)
+            raw = (self._fractions * total).astype(WIDE_DTYPE)
             bounds = np.unique(np.concatenate(([0], raw, [total])))
             if len(bounds) - 1 == self.num_shards:
                 degrees = indptr[frontier + 1] - indptr[frontier]

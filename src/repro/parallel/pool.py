@@ -111,7 +111,7 @@ class ThreadPool(WorkerPool):
 # ----------------------------------------------------------------------
 # Process pool with shared-memory NumPy views
 # ----------------------------------------------------------------------
-def _attach_shared(ref: SharedArrayRef):
+def _attach_shared(ref: SharedArrayRef) -> tuple[Any, np.ndarray]:
     """Attach a read-only view to a shared-memory array (worker side).
 
     The parent owns the segment lifecycle (create → map → unlink), and

@@ -28,6 +28,8 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro.errors import GraphError
+
 __all__ = ["CacheStats", "ResultCache", "demand_digest"]
 
 
@@ -68,7 +70,7 @@ class ResultCache:
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 0:
-            raise ValueError(f"capacity must be >= 0, got {capacity}")
+            raise GraphError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._epoch: int | None = None

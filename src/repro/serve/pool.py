@@ -18,7 +18,11 @@ can be driven from multiple request threads.
 
 from __future__ import annotations
 
-import threading
+# The serving pool guards acquire/release with a plain Lock so a
+# FlowServer can be driven from multiple request threads; it never
+# spawns workers or maps work — all computation still goes through
+# repro.parallel's ordered-map pools.
+import threading  # repolint: disable=pool-bypass -- Lock only, no pool primitives
 
 from repro.core.almost_route import BatchRouteWorkspace, RouteWorkspace
 from repro.core.approximator import TreeCongestionApproximator
@@ -30,6 +34,20 @@ __all__ = ["WorkspacePool"]
 class WorkspacePool:
     """Reusable single- and batch-routing workspaces for one
     (graph, approximator) pair."""
+
+    #: Lock contract, machine-checked by repolint's lock-discipline
+    #: rule: a FlowServer may be driven from multiple request threads,
+    #: so every lexical write to these outside __init__ must sit
+    #: inside ``with self._lock``.
+    _GUARDED_BY = (
+        "_singles",
+        "_batches",
+        "_graph",
+        "_approximator",
+        "_shape_key",
+        "created_singles",
+        "created_batches",
+    )
 
     def __init__(
         self, graph: Graph, approximator: TreeCongestionApproximator

@@ -124,18 +124,18 @@ class FlowServer:
         refresh: Literal["rebuild", "reuse"] = "rebuild",
     ) -> None:
         if solver not in _SOLVERS:
-            raise ValueError(
+            raise GraphError(
                 f"solver must be one of {sorted(_SOLVERS)}, got {solver!r}"
             )
         if refresh not in ("rebuild", "reuse"):
-            raise ValueError(
+            raise GraphError(
                 f"refresh must be 'rebuild' or 'reuse', got {refresh!r}"
             )
         eps = float(epsilon)
         if not 0 < eps <= 1:
-            raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+            raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
         if max_batch is not None and max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1 or None, got {max_batch}")
+            raise GraphError(f"max_batch must be >= 1 or None, got {max_batch}")
         self.graph = graph
         self.epsilon = eps
         self.solver = solver

@@ -13,7 +13,7 @@ from repro.core import (
     max_flow_binary_search,
 )
 from repro.core.almost_route import almost_route
-from repro.errors import InvalidDemandError
+from repro.errors import GraphError, InvalidDemandError
 from repro.flow import dinic_max_flow
 from repro.graphs.generators import grid, random_connected
 from repro.util.validation import check_feasible_flow, st_demand
@@ -61,7 +61,7 @@ class TestAccelerated:
 
     def test_invalid_epsilon(self, setup):
         g, approx = setup
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             accelerated_almost_route(g, approx, st_demand(g, 0, 19), 2.0)
 
     def test_budget_flagged(self, setup):

@@ -9,7 +9,7 @@ import pytest
 from repro.core.almost_route import almost_route
 from repro.core.approximator import build_congestion_approximator
 from repro.core.softmax import smax
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, GraphError
 from repro.graphs.generators import random_connected
 from repro.util.validation import st_demand
 
@@ -95,7 +95,7 @@ class TestAlmostRoute:
 
     def test_invalid_epsilon_rejected(self, setup):
         g, approx = setup
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             almost_route(g, approx, st_demand(g, 0, 15), epsilon=0.0)
 
     def test_budget_exhaustion_flagged(self, setup):

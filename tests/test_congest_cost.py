@@ -11,6 +11,7 @@ from repro.congest import (
     pipelined_aggregate,
 )
 from repro.congest.cost import RoundLedger
+from repro.errors import GraphError
 from repro.graphs.generators import grid, path, random_connected
 
 
@@ -26,7 +27,7 @@ class TestLedger:
 
 class TestCostModel:
     def test_requires_two_nodes(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             CostModel(1, 0)
 
     def test_base_term(self):

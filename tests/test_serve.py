@@ -92,13 +92,13 @@ class TestServing:
             FlowServer(graph, approximator=foreign)
 
     def test_rejects_bad_options(self, graph):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             FlowServer(graph, solver="newton")
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             FlowServer(graph, refresh="ignore")
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             FlowServer(graph, epsilon=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             FlowServer(graph, max_batch=0)
 
     def test_chunked_batches_are_bit_identical(self, graph):
@@ -347,7 +347,7 @@ class TestResultCacheUnit:
         assert cache.invalidations == 1
 
     def test_negative_capacity_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             ResultCache(-1)
 
     def test_digest_is_content_keyed(self):

@@ -7,6 +7,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.errors import GraphError
 from repro.core.softmax import (
     smax,
     smax_and_gradient,
@@ -138,7 +139,7 @@ class TestFusedExp:
     def test_pair_scratch_rejects_alias(self):
         base = np.zeros(16)
         y = base[:8]
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             smax_and_gradient(y, scratch=base)
 
 
@@ -182,17 +183,17 @@ class TestBatchPlane:
         assert np.array_equal(plain_grads, grads)
 
     def test_rejects_1d_input(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             smax_and_gradient_batch(np.zeros(8))
 
     def test_rejects_wrong_scratch_shape(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             smax_and_gradient_batch(np.zeros((3, 8)), scratch=np.empty((3, 8)))
 
     def test_rejects_alias(self):
         base = np.zeros((2, 16))
         y = base[:, :8]
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             smax_and_gradient_batch(y, scratch=base)
 
     def test_zero_width_plane(self):

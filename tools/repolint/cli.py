@@ -1,0 +1,105 @@
+"""Command-line front end: ``python -m tools.repolint [paths...]``.
+
+Exit codes: 0 clean, 1 findings (including parse errors reported as
+``parse-error`` findings), 2 usage errors (unknown rule names, missing
+paths). Run from the repository root so the path-scoped rules see
+``src/repro/...``-relative locations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.repolint.engine import all_rules, run_paths
+from tools.repolint.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repolint",
+        description=(
+            "AST-based contract checker enforcing this repository's "
+            "execution invariants (see ROADMAP.md 'Static contracts')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "benchmarks"],
+        help="files or directories to check (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root anchoring rule path scopes (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.paths) if rule.paths else "everywhere"
+            print(f"{rule.name}: {rule.description} [{scope}]")
+        return 0
+
+    root = Path(args.root)
+    missing = [
+        raw
+        for raw in args.paths
+        if not (Path(raw) if Path(raw).is_absolute() else root / raw).exists()
+    ]
+    if missing:
+        print(
+            f"repolint: path(s) not found: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    scanned = 0
+
+    def _count(_: Path) -> None:
+        nonlocal scanned
+        scanned += 1
+
+    try:
+        findings = run_paths(
+            args.paths, root=root, select=args.select, on_file=_count
+        )
+    except ValueError as exc:  # unknown --select rule name
+        print(f"repolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, scanned))
+    else:
+        print(render_text(findings, scanned))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""repolint engine: file contexts, suppressions, registry, runner.
+
+A *rule* is a class with a ``name``, a one-line ``description``, a
+``paths`` prefix tuple scoping which repository files it applies to,
+and a ``check(ctx)`` generator yielding :class:`Finding`s. Rules are
+registered by :func:`register` (the :mod:`tools.repolint.rules` module
+registers the repository's catalogue on import) and run by
+:func:`run_paths` / :func:`check_file` / :func:`check_source`.
+
+Suppressions are per line::
+
+    something()  # repolint: disable=rule-a,rule-b -- justification
+    something()  # repolint: disable=all -- why nothing applies here
+
+A suppression on the line a finding is reported at silences it. For
+findings reported at a ``def``/``class`` line (e.g. a whole-method
+finding from ``epoch-discipline``), the comment therefore goes on the
+``def`` line itself. ``# alloc-ok`` is a separate, rule-specific
+marker consumed by ``hot-path-alloc`` (see rules.py); the engine just
+exposes the raw comment text per line so rules can implement such
+markers.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "check_source",
+    "iter_python_files",
+    "register",
+    "run_paths",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repolint:\s*disable=([A-Za-z0-9_,\-\s]+?)(?:\s*(?:--|—).*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule: Registered rule name (e.g. ``"rng-discipline"``).
+        path: Repository-relative POSIX path of the file.
+        line: 1-based line the finding anchors to (suppression target).
+        col: 0-based column offset.
+        message: Human-readable statement of the violated contract.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, object]) -> "Finding":
+        return Finding(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+        )
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # repository-relative, POSIX separators
+    source: str
+    tree: ast.AST
+    #: line -> comment text (including the leading ``#``).
+    comments: dict[int, str] = field(default_factory=dict)
+    #: line -> rule names disabled on that line (``{"all"}`` disables
+    #: every rule).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def under(self, *prefixes: str) -> bool:
+        """Whether this file lives under any of the path prefixes."""
+        return any(
+            self.path == p.rstrip("/") or self.path.startswith(p.rstrip("/") + "/")
+            for p in prefixes
+        )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        names = self.suppressions.get(line)
+        return names is not None and (rule in names or "all" in names)
+
+
+class Rule:
+    """Base class for rules; subclasses override :meth:`check`.
+
+    Attributes:
+        name: Unique kebab-case identifier used in reports and
+            ``disable=`` comments.
+        description: One-line summary shown by ``--list-rules``.
+        paths: Repository path prefixes the rule applies to. The
+            engine skips files outside them.
+    """
+
+    name: str = ""
+    description: str = ""
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not self.paths or ctx.under(*self.paths)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """The registered rules, importing the repository catalogue on
+    first use, sorted by name for stable report order."""
+    if not _REGISTRY:
+        from tools.repolint import rules as _rules  # noqa: F401
+
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _scan_comments(source: str) -> tuple[dict[int, str], dict[int, set[str]]]:
+    """Extract per-line comments and ``repolint: disable=`` sets.
+
+    Tolerates tokenization failures (the AST parse reports those) by
+    returning what was scanned up to the failure point.
+    """
+    comments: dict[int, str] = {}
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            comments[line] = tok.string
+            match = _SUPPRESS_RE.search(tok.string)
+            if match:
+                names = {
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                if names:
+                    suppressions.setdefault(line, set()).update(names)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments, suppressions
+
+
+def check_source(
+    source: str,
+    rel_path: str,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over in-memory source pretending to live at
+    ``rel_path`` (repository-relative, POSIX separators).
+
+    This is the fixture-test entry point: path-scoped rules see the
+    pretended location, so a snippet can exercise e.g. the
+    ``src/repro/graphs/``-only dtype rule without touching the tree.
+    A syntax error yields a single ``parse-error`` finding.
+    """
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    comments, suppressions = _scan_comments(source)
+    ctx = FileContext(
+        path=rel_path,
+        source=source,
+        tree=tree,
+        comments=comments,
+        suppressions=suppressions,
+    )
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(rule.name, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def check_file(
+    file_path: Path,
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over one file; ``root`` anchors the relative path.
+
+    Files outside ``root`` (e.g. scratch dirs handed straight to the
+    CLI) are reported under their absolute path; path-scoped rules
+    simply do not apply to them.
+    """
+    resolved = file_path.resolve()
+    try:
+        rel = resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = resolved.as_posix()
+    source = file_path.read_text(encoding="utf-8")
+    return check_source(source, rel, rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted,
+    skipping ``__pycache__`` and hidden directories."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    root: str | Path | None = None,
+    rules: Iterable[Rule] | None = None,
+    select: Iterable[str] | None = None,
+    on_file: Callable[[Path], None] | None = None,
+) -> list[Finding]:
+    """Run the pass over files/directories and return all findings.
+
+    Args:
+        paths: Files or directories, relative to ``root``.
+        root: Repository root anchoring relative report paths
+            (default: current working directory).
+        rules: Explicit rule objects (default: full registry).
+        select: If given, restrict to these rule names (unknown names
+            raise ``ValueError`` so CI typos fail loudly).
+        on_file: Optional progress callback per scanned file.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = set(select)
+        known = {r.name for r in active}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule name(s): {sorted(unknown)}")
+        active = [r for r in active if r.name in wanted]
+    findings: list[Finding] = []
+    resolved = [
+        p if (p := Path(raw)).is_absolute() else root_path / p for raw in paths
+    ]
+    for file_path in iter_python_files(resolved):
+        if on_file is not None:
+            on_file(file_path)
+        findings.extend(check_file(file_path, root_path, active))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

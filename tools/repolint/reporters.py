@@ -1,0 +1,52 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document round-trips (:func:`render_json` /
+:func:`parse_json`) so downstream tooling — the CI annotation step, a
+future baseline-diff mode — can consume findings without re-running
+the pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tools.repolint.engine import Finding
+
+__all__ = ["render_text", "render_json", "parse_json"]
+
+#: Format version for the JSON document; bump on breaking changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_scanned: int = 0) -> str:
+    """GCC-style ``path:line:col: rule: message`` lines + a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule}: {f.message}"
+        for f in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    scanned = f" in {files_scanned} files" if files_scanned else ""
+    lines.append(f"repolint: {len(findings)} {noun}{scanned}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_scanned: int = 0) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Inverse of :func:`render_json` (ignores unknown keys)."""
+    document = json.loads(text)
+    version = document.get("version")
+    if version != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported repolint JSON version {version!r} "
+            f"(expected {JSON_SCHEMA_VERSION})"
+        )
+    return [Finding.from_dict(item) for item in document["findings"]]
