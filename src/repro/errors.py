@@ -55,3 +55,45 @@ class ConvergenceError(ReproError):
 class TreeError(ReproError):
     """Raised for malformed rooted trees (cycles, orphan nodes, invalid
     parent pointers)."""
+
+
+class ArenaError(ReproError):
+    """Raised when the shared-memory arena cannot honour an export even
+    after draining every evictable segment (e.g. ENOSPC on /dev/shm).
+
+    The message names the requested size, the configured byte budget,
+    and the live (non-evictable) working set so the failure is
+    actionable without a debugger; the original ``OSError`` rides along
+    as ``__cause__``."""
+
+
+class PoolFailureError(ReproError):
+    """Raised when a sharded map cannot be completed despite supervised
+    recovery: the retry budget is exhausted, or the failure mode is not
+    safely retryable (a timed-out thread shard may still be running and
+    would race a re-execution on shared scratch).
+
+    The underlying worker exception — or the timeout — is chained as
+    ``__cause__``."""
+
+
+class ServingError(ReproError):
+    """Raised by :class:`repro.serve.FlowServer` when a request cannot
+    be served: a poisoned demand column, or pool loss that persists
+    through every circuit-breaker degradation step.
+
+    Error isolation contract: in batched routing a ``ServingError``
+    scopes to the one demand column that failed (its cause chained as
+    ``__cause__``), never to the whole miss batch."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a :class:`repro.serve.FlowServer` request exceeds its
+    configured per-request deadline.  Checked cooperatively at chunk
+    boundaries, so an in-flight solve completes before the deadline is
+    observed."""
+
+
+class FaultSpecError(ReproError):
+    """Raised for a malformed ``REPRO_FAULTS`` spec or an unknown fault
+    site/kind handed to :class:`repro.faults.FaultSpec`."""

@@ -40,18 +40,26 @@ from repro.parallel.config import (
 )
 from repro.parallel.plan import BfsShardState, ShardPlan
 from repro.parallel.pool import (
+    PoolStats,
     ProcessPool,
+    RecoveryPolicy,
     SerialPool,
     ThreadPool,
     WorkerPool,
     get_pool,
+    recovery_policy,
+    reset_fork_warning,
+    set_recovery_policy,
     shutdown_pools,
+    use_recovery,
 )
 
 __all__ = [
     "ARENA_BYTE_BUDGET",
     "BfsShardState",
     "ParallelConfig",
+    "PoolStats",
+    "RecoveryPolicy",
     "SharedArena",
     "ShardPlan",
     "WorkerPool",
@@ -60,10 +68,14 @@ __all__ = [
     "ProcessPool",
     "array_version",
     "default_config",
+    "recovery_policy",
+    "reset_fork_warning",
     "resolve_config",
     "set_default_config",
+    "set_recovery_policy",
     "tag_array_version",
     "use_config",
+    "use_recovery",
     "get_pool",
     "shutdown_pools",
 ]

@@ -65,6 +65,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import ArenaError
+from repro.faults import fault_point
+
 __all__ = [
     "ARENA_BYTE_BUDGET",
     "SharedArena",
@@ -125,6 +128,7 @@ def array_version(array: np.ndarray) -> int:
 # ----------------------------------------------------------------------
 # Segment plumbing
 # ----------------------------------------------------------------------
+@fault_point("arena.export", kinds=("enospc",))
 def export_segment(array: np.ndarray) -> tuple[SharedArrayRef, Any]:
     """Copy ``array`` into a fresh shared-memory segment.
 
@@ -149,13 +153,13 @@ def release_segment(shm: Any) -> None:
     """
     try:
         shm.close()
-    except Exception:
+    except Exception:  # repolint: disable=except-discipline -- finalizer/atexit teardown must never raise; nothing to recover
         pass
     try:
         shm.unlink()
     except FileNotFoundError:
         pass
-    except Exception:
+    except Exception:  # repolint: disable=except-discipline -- late-shutdown resource_tracker may be gone; nothing to recover
         pass
 
 
@@ -255,8 +259,22 @@ class SharedArena:
                 # Shared memory exhausted (/dev/shm is commonly capped
                 # at 64 MB in containers): drop every segment not in
                 # the current call's working set and retry once.
-                self._drain_evictable()
-                ref, shm = export_segment(array)
+                self.drain_evictable()
+                try:
+                    ref, shm = export_segment(array)
+                except OSError as exc:
+                    live = sum(
+                        entry.nbytes for entry in self._entries.values()
+                    )
+                    raise ArenaError(
+                        "shared-memory export failed even after draining "
+                        f"every evictable segment: requested "
+                        f"{int(array.nbytes)} bytes, byte budget "
+                        f"{self.max_bytes}, live working set {live} bytes "
+                        f"across {len(self._entries)} pinned segments "
+                        "(the current map call's own exports cannot be "
+                        "evicted)"
+                    ) from exc
             finalizer = weakref.finalize(array, self._on_collect, key, shm)
             self._entries[key] = _ArenaEntry(
                 ref=ref,
@@ -291,9 +309,10 @@ class SharedArena:
                 break  # soft cap: one call's working set may exceed it
             self._evict(min(candidates)[1])
 
-    def _drain_evictable(self) -> None:
+    def drain_evictable(self) -> None:
         """Evict everything outside the current call's working set
-        (the ENOSPC recovery path)."""
+        (the ENOSPC recovery path; also used by the pool's transient-
+        export fallback)."""
         with self._lock:
             for key, entry in list(self._entries.items()):
                 if entry.last_used < self._tick:
@@ -318,6 +337,19 @@ class SharedArena:
                 # the GC/atexit path can never double-unlink after
                 # this.
                 entry.finalizer()
+
+    def discard(self, array: np.ndarray) -> bool:
+        """Drop the cached entry for ``array``, if any (attach-failure
+        recovery: the segment name may point at an externally unlinked
+        segment, so the next export must create a fresh one).
+
+        Returns whether an entry was evicted."""
+        with self._lock:
+            entry = self._entries.get(id(array))
+            if entry is None or entry.array_ref() is not array:
+                return False
+            self._evict(id(array))
+            return True
 
     def release(self) -> None:
         """Unlink every cached segment (pool shutdown / tests)."""

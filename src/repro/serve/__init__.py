@@ -9,12 +9,13 @@ calls.
 
 from repro.serve.cache import CacheStats, ResultCache, demand_digest
 from repro.serve.pool import WorkspacePool
-from repro.serve.server import FlowServer, ServerStats
+from repro.serve.server import FlowServer, ServerHealth, ServerStats
 
 __all__ = [
     "CacheStats",
     "FlowServer",
     "ResultCache",
+    "ServerHealth",
     "ServerStats",
     "WorkspacePool",
     "demand_digest",

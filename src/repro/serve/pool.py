@@ -26,6 +26,7 @@ import threading  # repolint: disable=pool-bypass -- Lock only, no pool primitiv
 
 from repro.core.almost_route import BatchRouteWorkspace, RouteWorkspace
 from repro.core.approximator import TreeCongestionApproximator
+from repro.faults import fault_point
 from repro.graphs.graph import Graph
 
 __all__ = ["WorkspacePool"]
@@ -86,9 +87,14 @@ class WorkspacePool:
             self._singles.clear()
             self._batches.clear()
 
+    @fault_point("serve.checkout", kinds=("raise",))
     def acquire(self) -> RouteWorkspace:
         """Pop a warm single-query workspace, building one on a dry
-        pool."""
+        pool.
+
+        Fault site ``serve.checkout``: a failed checkout is recoverable
+        by design — the server falls back to a per-call workspace (the
+        solver allocates internally) and counts the degradation."""
         with self._lock:
             if self._singles:
                 return self._singles.pop()
@@ -103,9 +109,11 @@ class WorkspacePool:
             if workspace.shape_key == self._shape_key:
                 self._singles.append(workspace)
 
+    @fault_point("serve.checkout", kinds=("raise",))
     def acquire_batch(self, num_queries: int) -> BatchRouteWorkspace:
         """Pop a warm batch workspace for ``num_queries`` stacked
-        demands, building one on a dry pool."""
+        demands, building one on a dry pool (same ``serve.checkout``
+        fault site and fallback contract as :meth:`acquire`)."""
         with self._lock:
             stock = self._batches.get(num_queries)
             if stock:

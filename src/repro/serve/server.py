@@ -37,7 +37,8 @@ always flush the pool, since every workspace is m-shaped.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Iterable, Literal, Sequence
 
 import numpy as np
@@ -46,19 +47,33 @@ from repro.core.accelerated import (
     accelerated_almost_route,
     accelerated_almost_route_batch,
 )
-from repro.core.almost_route import AlmostRouteResult, almost_route, almost_route_batch
+from repro.core.almost_route import (
+    AlmostRouteResult,
+    BatchAlmostRouteResult,
+    BatchRouteWorkspace,
+    RouteWorkspace,
+    almost_route,
+    almost_route_batch,
+)
 from repro.core.approximator import (
     TreeCongestionApproximator,
     build_congestion_approximator,
 )
-from repro.errors import GraphError
+from repro.errors import (
+    DeadlineExceededError,
+    GraphError,
+    PoolFailureError,
+    ServingError,
+)
+from repro.faults import fault_point
 from repro.graphs.graph import Graph
-from repro.parallel.config import ParallelConfig
+from repro.parallel.config import ParallelConfig, resolve_config
+from repro.parallel.pool import PoolStats, get_pool
 from repro.serve.cache import CacheStats, ResultCache, demand_digest
 from repro.serve.pool import WorkspacePool
 from repro.util.validation import st_demand
 
-__all__ = ["FlowServer", "ServerStats"]
+__all__ = ["FlowServer", "ServerHealth", "ServerStats"]
 
 _SOLVERS = {
     "plain": (almost_route, almost_route_batch),
@@ -75,6 +90,52 @@ class ServerStats:
     batched_columns: int = 0
     rebuilds: int = 0
     cache: CacheStats | None = None
+
+
+@dataclass(frozen=True)
+class ServerHealth:
+    """Degradation and failure snapshot for one :class:`FlowServer`.
+
+    Recovery is invisible in results by contract, so this snapshot is
+    how operators see that the server has been absorbing failures.
+
+    Attributes:
+        workspace_fallbacks: Solves that ran on a per-call workspace
+            because the warm-pool checkout failed.
+        column_failures: Demand columns that ended as a
+            :class:`~repro.errors.ServingError` (the error-isolation
+            contract: one poisoned column never fails its batch).
+        batch_splits: Miss-chunk bisections performed to isolate
+            poisoned columns.
+        deadline_hits: Requests that exceeded their deadline.
+        pool_failures: :class:`~repro.errors.PoolFailureError` events
+            absorbed by the circuit-breaker machinery.
+        breaker_trips: Backend degradations taken
+            (process → thread → serial).
+        consecutive_pool_failures: Current trip progress toward the
+            next degradation.
+        configured_backend: The backend the server was configured with.
+        effective_backend: The backend requests currently run on.
+        degraded: Whether the breaker has moved the server off its
+            configured backend (see :meth:`FlowServer.reset_breaker`).
+        last_error: ``repr``-style description of the most recent
+            absorbed failure (``None`` when the server never failed).
+        shard_pool: Stats of the shard pool serving the effective
+            backend (``None`` for serial / single-worker execution).
+    """
+
+    workspace_fallbacks: int
+    column_failures: int
+    batch_splits: int
+    deadline_hits: int
+    pool_failures: int
+    breaker_trips: int
+    consecutive_pool_failures: int
+    configured_backend: str
+    effective_backend: str
+    degraded: bool
+    last_error: str | None
+    shard_pool: PoolStats | None
 
 
 class FlowServer:
@@ -107,6 +168,16 @@ class FlowServer:
             the approximator from ``rng`` when the graph version moves;
             ``"reuse"`` keeps the stale tree structure (documented
             approximation — live capacities, pre-mutation cuts).
+        deadline: Per-request wall-clock budget in seconds (``None``
+            disables it). Checked cooperatively at chunk boundaries —
+            an in-flight solve completes before the deadline is
+            observed — and raises
+            :class:`~repro.errors.DeadlineExceededError`.
+        breaker_threshold: Consecutive pool losses tolerated before
+            the circuit-breaker degrades the execution backend one
+            step (process → thread → serial); results stay
+            bit-identical by the determinism contract, so degradation
+            trades throughput for availability, never correctness.
     """
 
     def __init__(
@@ -122,6 +193,8 @@ class FlowServer:
         parallel: ParallelConfig | None = None,
         rng: np.random.Generator | int | None = 0,
         refresh: Literal["rebuild", "reuse"] = "rebuild",
+        deadline: float | None = None,
+        breaker_threshold: int = 3,
     ) -> None:
         if solver not in _SOLVERS:
             raise GraphError(
@@ -136,6 +209,14 @@ class FlowServer:
             raise GraphError(f"epsilon must be in (0, 1], got {epsilon}")
         if max_batch is not None and max_batch < 1:
             raise GraphError(f"max_batch must be >= 1 or None, got {max_batch}")
+        if deadline is not None and not deadline > 0:
+            raise GraphError(
+                f"deadline must be > 0 seconds or None, got {deadline}"
+            )
+        if breaker_threshold < 1:
+            raise GraphError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
         self.graph = graph
         self.epsilon = eps
         self.solver = solver
@@ -143,6 +224,8 @@ class FlowServer:
         self.max_batch = max_batch
         self.parallel = parallel
         self.refresh = refresh
+        self.deadline = deadline
+        self.breaker_threshold = breaker_threshold
         self._rng = rng
         if approximator is None:
             approximator = build_congestion_approximator(
@@ -162,6 +245,16 @@ class FlowServer:
         self._batch_queries = 0
         self._batched_columns = 0
         self._rebuilds = 0
+        # Health / degradation state (see ServerHealth).
+        self._effective_parallel = parallel
+        self._workspace_fallbacks = 0
+        self._column_failures = 0
+        self._batch_splits = 0
+        self._deadline_hits = 0
+        self._pool_failures = 0
+        self._breaker_trips = 0
+        self._consecutive_pool_failures = 0
+        self._last_error: str | None = None
 
     # ------------------------------------------------------------------
     # Mutation detection
@@ -203,6 +296,98 @@ class FlowServer:
         )
 
     # ------------------------------------------------------------------
+    # Supervision (deadline, workspace fallback, circuit-breaker)
+    # ------------------------------------------------------------------
+    def _current_parallel(self) -> ParallelConfig | None:
+        """The execution config requests run on right now (the
+        configured one until the circuit-breaker degrades it)."""
+        return self._effective_parallel
+
+    def _deadline_at(self) -> float | None:
+        return (
+            None if self.deadline is None else time.monotonic() + self.deadline
+        )
+
+    def _check_deadline(self, deadline_at: float | None) -> None:
+        """Cooperative deadline check, called at chunk boundaries."""
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            self._deadline_hits += 1
+            raise DeadlineExceededError(
+                f"request exceeded its {self.deadline}s deadline"
+            )
+
+    def _acquire_single(self) -> RouteWorkspace | None:
+        """Warm-pool checkout with fallback: a failed checkout means
+        the solver allocates a per-call workspace (slower, identical
+        results) — a counted degradation, never a failed request."""
+        try:
+            return self._pool.acquire()
+        except Exception as exc:
+            self._workspace_fallbacks += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            return None
+
+    def _acquire_batch(self, num_queries: int) -> BatchRouteWorkspace | None:
+        """Batch-workspace checkout with the same fallback contract as
+        :meth:`_acquire_single`."""
+        try:
+            return self._pool.acquire_batch(num_queries)
+        except Exception as exc:
+            self._workspace_fallbacks += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            return None
+
+    def _note_pool_failure(self, exc: PoolFailureError) -> bool:
+        """Record a pool loss; returns whether the caller should retry.
+
+        Below ``breaker_threshold`` consecutive losses the retry stays
+        on the current backend (the pool already retried internally —
+        this is a second chance after a respawn).  At the threshold the
+        breaker trips: the effective backend degrades one step
+        (process → thread → serial) and the counter resets.  ``False``
+        means every degradation is exhausted and the caller must
+        surface a :class:`~repro.errors.ServingError`."""
+        self._pool_failures += 1
+        self._consecutive_pool_failures += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        if self._consecutive_pool_failures < self.breaker_threshold:
+            return True
+        resolved = resolve_config(self._current_parallel())
+        if resolved.workers <= 1 or resolved.backend == "serial":
+            return False
+        if resolved.backend == "process":
+            self._effective_parallel = replace(resolved, backend="thread")
+        else:
+            self._effective_parallel = replace(resolved, backend="serial")
+        self._breaker_trips += 1
+        self._consecutive_pool_failures = 0
+        return True
+
+    def reset_breaker(self) -> None:
+        """Restore the configured execution backend after a degradation
+        (operators call this once the underlying fault is resolved)."""
+        self._effective_parallel = self.parallel
+        self._consecutive_pool_failures = 0
+
+    @fault_point("serve.miss", kinds=("raise", "hang"))
+    def _solve_chunk(
+        self,
+        plane: np.ndarray,
+        workspace: BatchRouteWorkspace | None,
+    ) -> BatchAlmostRouteResult:
+        """Solve one miss chunk (fault site ``serve.miss``)."""
+        _, batch_solver = _SOLVERS[self.solver]
+        return batch_solver(
+            self.graph,
+            self.approximator,
+            plane,
+            self.epsilon,
+            max_iterations=self.max_iterations,
+            workspace=workspace,
+            parallel=self._current_parallel(),
+        )
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def route(
@@ -212,6 +397,9 @@ class FlowServer:
         same query was served this epoch (by single or batched call).
 
         Cached results are shared objects — treat them as read-only.
+        Pool loss is absorbed by the circuit-breaker (retry, then
+        backend degradation); a workspace used by a failed solve is
+        dropped, never re-pooled.
         """
         self._sync()
         self._single_queries += 1
@@ -222,21 +410,37 @@ class FlowServer:
             if cached is not None:
                 return cached
         single, _ = _SOLVERS[self.solver]
-        workspace = self._pool.acquire()
-        try:
-            result = single(
-                self.graph,
-                self.approximator,
-                demand,
-                self.epsilon,
-                max_iterations=self.max_iterations,
-                workspace=workspace,
-                parallel=self.parallel,
-            )
-        finally:
-            self._pool.release(workspace)
-        self._cache.put(key, result)
-        return result
+        deadline_at = self._deadline_at()
+        while True:
+            self._check_deadline(deadline_at)
+            workspace = self._acquire_single()
+            try:
+                result = single(
+                    self.graph,
+                    self.approximator,
+                    demand,
+                    self.epsilon,
+                    max_iterations=self.max_iterations,
+                    workspace=workspace,
+                    parallel=self._current_parallel(),
+                )
+            except PoolFailureError as exc:
+                # The workspace may have been written by a failed (or
+                # still-running, on the thread backend) shard: poison
+                # it by dropping the reference instead of re-pooling.
+                workspace = None
+                if self._note_pool_failure(exc):
+                    continue
+                raise ServingError(
+                    "single routing failed: worker-pool loss persisted "
+                    "through every circuit-breaker degradation"
+                ) from exc
+            finally:
+                if workspace is not None:
+                    self._pool.release(workspace)
+            self._consecutive_pool_failures = 0
+            self._cache.put(key, result)
+            return result
 
     def route_st(
         self, source: int, sink: int, value: float = 1.0, use_cache: bool = True
@@ -250,6 +454,7 @@ class FlowServer:
         self,
         demands: Iterable[Sequence[float]] | np.ndarray,
         use_cache: bool = True,
+        errors: Literal["raise", "return"] = "raise",
     ) -> list[AlmostRouteResult]:
         """Route ``Q`` stacked demands through the batched solver.
 
@@ -258,7 +463,21 @@ class FlowServer:
         (bit-identity makes the re-batching invisible in the results)
         and every fresh column is cached individually, so batches and
         singles warm each other.
+
+        Error isolation: a poisoned demand column fails its *own*
+        request — the miss chunk is bisected until the failure is
+        pinned to single columns, which receive a
+        :class:`~repro.errors.ServingError` carrying the cause chain,
+        while every healthy column routes normally (bit-identical to a
+        clean run). With ``errors="raise"`` (default) the first such
+        failure is raised after the whole batch is served; with
+        ``errors="return"`` the ``ServingError`` objects are returned
+        in the failed columns' positions instead.
         """
+        if errors not in ("raise", "return"):
+            raise GraphError(
+                f"errors must be 'raise' or 'return', got {errors!r}"
+            )
         self._sync()
         demands = np.ascontiguousarray(demands, dtype=float)
         if demands.ndim != 2:
@@ -268,7 +487,9 @@ class FlowServer:
         num_queries = demands.shape[0]
         self._batch_queries += 1
         self._batched_columns += num_queries
-        results: list[AlmostRouteResult | None] = [None] * num_queries
+        results: list[AlmostRouteResult | ServingError | None] = (
+            [None] * num_queries
+        )
         keys = [self._query_key(demands[q]) for q in range(num_queries)]
         miss_idx = []
         for q, key in enumerate(keys):
@@ -277,7 +498,7 @@ class FlowServer:
                 results[q] = cached
             else:
                 miss_idx.append(q)
-        _, batch_solver = _SOLVERS[self.solver]
+        deadline_at = self._deadline_at()
         chunk = self.max_batch or len(miss_idx) or 1
         # Chunked miss routing: column grouping never changes any bit,
         # so bounding the per-call plane width is free correctness-wise
@@ -285,25 +506,76 @@ class FlowServer:
         # chunks also re-hit the same pooled batch workspace.
         for start in range(0, len(miss_idx), chunk):
             idx = miss_idx[start : start + chunk]
+            self._route_chunk(demands, idx, keys, results, deadline_at)
+        if errors == "raise":
+            for item in results:
+                if isinstance(item, ServingError):
+                    raise item
+        return results  # type: ignore[return-value]
+
+    def _route_chunk(
+        self,
+        demands: np.ndarray,
+        idx: list[int],
+        keys: list[tuple],
+        results: list[AlmostRouteResult | ServingError | None],
+        deadline_at: float | None,
+    ) -> None:
+        """Serve one miss chunk, bisecting on failure.
+
+        Pool loss retries the whole chunk (same backend, then breaker
+        degradation); any other solve failure bisects the chunk until
+        it is pinned to single columns, which store a
+        :class:`~repro.errors.ServingError` in their result slot —
+        healthy siblings re-route bit-identically."""
+        while True:
+            self._check_deadline(deadline_at)
             plane = np.ascontiguousarray(demands[idx])
-            workspace = self._pool.acquire_batch(len(idx))
+            workspace = self._acquire_batch(len(idx))
             try:
-                batch = batch_solver(
-                    self.graph,
-                    self.approximator,
-                    plane,
-                    self.epsilon,
-                    max_iterations=self.max_iterations,
-                    workspace=workspace,
-                    parallel=self.parallel,
+                batch = self._solve_chunk(plane, workspace)
+            except PoolFailureError as exc:
+                workspace = None  # poisoned: drop, never re-pool
+                if self._note_pool_failure(exc):
+                    continue
+                failure = ServingError(
+                    "batched routing failed: worker-pool loss persisted "
+                    "through every circuit-breaker degradation"
                 )
+                failure.__cause__ = exc
+                self._column_failures += len(idx)
+                for q in idx:
+                    results[q] = failure
+                return
+            except Exception as exc:
+                workspace = None  # poisoned: drop, never re-pool
+                if len(idx) == 1:
+                    failure = ServingError(
+                        f"demand column {idx[0]} failed to route: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    failure.__cause__ = exc
+                    self._column_failures += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                    results[idx[0]] = failure
+                    return
+                # Bisect: the failure names the chunk, not the column.
+                # Both halves re-route (bit-identity makes the regroup
+                # invisible) until the poison is isolated.
+                self._batch_splits += 1
+                mid = len(idx) // 2
+                self._route_chunk(demands, idx[:mid], keys, results, deadline_at)
+                self._route_chunk(demands, idx[mid:], keys, results, deadline_at)
+                return
             finally:
-                self._pool.release_batch(workspace)
+                if workspace is not None:
+                    self._pool.release_batch(workspace)
+            self._consecutive_pool_failures = 0
             for j, q in enumerate(idx):
                 result = batch.query(j)
                 self._cache.put(keys[q], result)
                 results[q] = result
-        return results  # type: ignore[return-value]
+            return
 
     # ------------------------------------------------------------------
     # Introspection
@@ -315,6 +587,30 @@ class FlowServer:
             batched_columns=self._batched_columns,
             rebuilds=self._rebuilds,
             cache=self._cache.stats(),
+        )
+
+    def health(self) -> ServerHealth:
+        """Degradation snapshot (see :class:`ServerHealth`): what the
+        server has absorbed, what it surfaced, and which backend it is
+        currently running on."""
+        configured = resolve_config(self.parallel)
+        effective = resolve_config(self._current_parallel())
+        shard_pool: PoolStats | None = None
+        if effective.workers > 1 and effective.backend != "serial":
+            shard_pool = get_pool(effective).stats.snapshot()
+        return ServerHealth(
+            workspace_fallbacks=self._workspace_fallbacks,
+            column_failures=self._column_failures,
+            batch_splits=self._batch_splits,
+            deadline_hits=self._deadline_hits,
+            pool_failures=self._pool_failures,
+            breaker_trips=self._breaker_trips,
+            consecutive_pool_failures=self._consecutive_pool_failures,
+            configured_backend=configured.backend,
+            effective_backend=effective.backend,
+            degraded=effective.backend != configured.backend,
+            last_error=self._last_error,
+            shard_pool=shard_pool,
         )
 
     def cache_stats(self) -> CacheStats:

@@ -79,6 +79,21 @@ def assert_arrays_identical(label: str, expected, actual) -> None:
     )
 
 
+def assert_recovery_invisible(pool, fn, tasks, label: str = "map") -> None:
+    """Supervised recovery's whole contract: a map that survived injected
+    faults returns exactly what a fault-free serial evaluation returns —
+    same order, same values, bit for bit. Shards are pure functions of
+    their arguments, so a retried shard is indistinguishable from a
+    first-try shard; any visible difference means recovery leaked."""
+    expected = [fn(*task) for task in tasks]
+    got = pool.map(fn, tasks)
+    assert len(got) == len(expected), (
+        f"{label}: {len(got)} results for {len(expected)} tasks"
+    )
+    for i, (want, have) in enumerate(zip(expected, got)):
+        assert_arrays_identical(f"{label}[shard {i}]", want, have)
+
+
 def assert_cache_invariants(graph: Graph) -> None:
     """The derived-cache contract after any (sharded) run.
 

@@ -532,3 +532,27 @@ class TestForkFallback:
             assert get_pool(forced(2, "thread")) is degraded
         finally:
             shutdown_pools()
+
+    def test_reset_fork_warning_rearms_the_one_time_warning(
+        self, monkeypatch
+    ):
+        """Regression: the warn-once global used to be resettable only
+        by monkeypatching the module-level list, leaking state between
+        callers. ``reset_fork_warning`` is the supported reset."""
+        shutdown_pools()
+        monkeypatch.setattr(pool_module, "_fork_available", lambda: False)
+        pool_module.reset_fork_warning()
+        try:
+            with pytest.warns(RuntimeWarning, match="fork"):
+                get_pool(forced(2, "process"))
+            # Warned once: repeated degraded requests stay silent...
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                get_pool(forced(2, "process"))
+            # ...until the explicit reset re-arms the warning.
+            pool_module.reset_fork_warning()
+            with pytest.warns(RuntimeWarning, match="fork"):
+                get_pool(forced(2, "process"))
+        finally:
+            pool_module.reset_fork_warning()
+            shutdown_pools()

@@ -48,6 +48,7 @@ def test_registry_contains_the_catalogue():
         "epoch-discipline",
         "hot-path-alloc",
         "error-discipline",
+        "except-discipline",
         "mutable-default",
         "shadowed-builtin",
     } <= names
@@ -294,6 +295,72 @@ def test_error_discipline_clean_on_repro_errors():
                 raise GraphError("negative")
         """
     assert "error-discipline" not in rules_hit(src)
+
+
+# ----------------------------------------------------------------------
+# except-discipline
+# ----------------------------------------------------------------------
+def test_except_discipline_flags_bare_and_silent_broad_handlers():
+    src = """
+        def teardown(x):
+            try:
+                x.close()
+            except:
+                pass
+            try:
+                x.unlink()
+            except Exception:
+                pass
+            try:
+                x.flush()
+            except (ValueError, BaseException):
+                ...
+        """
+    hits = [f for f in lint(src) if f.rule == "except-discipline"]
+    assert len(hits) == 3
+
+
+def test_except_discipline_clean_on_counted_or_narrow_handlers():
+    src = """
+        from repro.errors import ArenaError
+
+        def recover(pool, x):
+            try:
+                x.export()
+            except OSError:
+                pass
+            try:
+                x.attach()
+            except Exception as exc:
+                pool.stats.attach_failures += 1
+            try:
+                x.solve()
+            except Exception:
+                raise ArenaError("wrapped")
+        """
+    assert "except-discipline" not in rules_hit(src)
+
+
+def test_except_discipline_suppression_and_scope():
+    src = """
+        def teardown(x):
+            try:
+                x.close()
+            except Exception:  # repolint: disable=except-discipline -- atexit teardown
+                pass
+        """
+    assert "except-discipline" not in rules_hit(src)
+    # Out of scope: tools/ and benchmarks/ are not recovery layers.
+    assert "except-discipline" not in rules_hit(
+        """
+        def f(x):
+            try:
+                x()
+            except Exception:
+                pass
+        """,
+        rel_path="tools/somewhere/x.py",
+    )
 
 
 # ----------------------------------------------------------------------

@@ -238,6 +238,39 @@ class TestInvalidation:
         oracle = almost_route(graph, server.approximator, demand, EPS)
         assert_arrays_identical("flow", oracle.flow, refreshed.flow)
 
+    def test_eviction_and_epoch_churn_never_serves_stale(self, graph):
+        """Mutate -> route -> mutate churn with a cache small enough to
+        evict every round: LRU eviction and epoch invalidation must
+        compose without ever serving an old-epoch result, and the
+        counters must stay consistent under the combined pressure."""
+        server = FlowServer(graph, epsilon=EPS, rng=602, cache_capacity=2)
+        plane = _plane(graph, 617, 4)
+        caps = graph.capacities()
+        previous = {}
+        for round_index in range(3):
+            graph.set_capacity(0, float(caps[0]) * (2.0 + round_index))
+            served = [server.route(plane[q]) for q in range(4)]
+            for q in range(4):
+                # An old-epoch object must never come back...
+                if q in previous:
+                    assert served[q] is not previous[q]
+                # ...and every answer equals a from-scratch solve on
+                # the mutated graph.
+                oracle = server.route(plane[q], use_cache=False)
+                assert_arrays_identical(
+                    f"round {round_index} flow[{q}]",
+                    oracle.flow,
+                    served[q].flow,
+                )
+            previous = dict(enumerate(served))
+        stats = server.cache_stats()
+        assert stats.invalidations == 3  # one per mutation, exactly
+        # Four distinct queries thrash a two-slot LRU: every cached
+        # lookup misses and eviction stays active throughout.
+        assert stats.hits == 0 and stats.misses == 12
+        assert stats.evictions > 0
+        assert stats.size <= 2
+
     def test_rebuild_policy_rebuilds_once_per_mutation(self, graph, server):
         demand = st_demand(graph, 0, 9)
         server.route(demand)

@@ -740,3 +740,75 @@ class ShadowedBuiltin(Rule):
                         yield self._flag(
                             ctx, node.target, node.target.id, func.name
                         )
+
+
+@register
+class ExceptDiscipline(Rule):
+    """Recovery paths must recover, not swallow.
+
+    PR 8's fault model makes this a contract: every failure a layer
+    absorbs must either re-raise a ``ReproError`` or record a counted
+    degradation (a ``PoolStats``/``ServerHealth`` counter), so that
+    "recovered" is observable and "silently ignored" is impossible.
+    A bare ``except:`` (which also eats ``KeyboardInterrupt``) or an
+    ``except Exception: pass`` body is exactly the silent-swallow
+    shape that rots into a wrong-answer bug; teardown paths that
+    legitimately must not raise (finalizers, atexit hooks) carry a
+    per-line suppression naming why.
+    """
+
+    name = "except-discipline"
+    description = (
+        "bare 'except:' or 'except Exception/BaseException' whose body "
+        "only passes under src/repro (re-raise a ReproError or record "
+        "a counted degradation)"
+    )
+    paths = (SRC,)
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        """Whether the handler catches Exception/BaseException (alone
+        or as a tuple member). ``except:`` is handled separately."""
+        exc = handler.type
+        members = exc.elts if isinstance(exc, ast.Tuple) else [exc]
+        for member in members:
+            dotted = _dotted(member) if member is not None else None
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in self._BROAD:
+                return True
+        return False
+
+    def _only_passes(self, handler: ast.ExceptHandler) -> bool:
+        """Whether the handler body does nothing (Pass statements or
+        bare constant expressions like docstrings/ellipses only)."""
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt/SystemExit "
+                    "too: name the exceptions, and re-raise a ReproError "
+                    "or record a counted degradation",
+                )
+            elif self._is_broad(node) and self._only_passes(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "'except Exception: pass' swallows failures "
+                    "silently: re-raise a ReproError or record a "
+                    "counted degradation (suppress per-line for "
+                    "finalizer/atexit teardown that must not raise)",
+                )
