@@ -97,3 +97,25 @@ class DeadlineExceededError(ServingError):
 class FaultSpecError(ReproError):
     """Raised for a malformed ``REPRO_FAULTS`` spec or an unknown fault
     site/kind handed to :class:`repro.faults.FaultSpec`."""
+
+
+class ScenarioError(ReproError):
+    """Raised for a malformed scenario specification handed to
+    :mod:`repro.scenarios` — an unknown topology/demand/failure/backend
+    name, an incompatible axis combination requested explicitly (e.g.
+    an adversarial-cut demand on a topology with no planted cut), or a
+    scenario whose parameters cannot produce a runnable instance."""
+
+
+class InvariantViolation(ScenarioError):
+    """Raised when a scenario run violates one of its correctness
+    invariants: routed flow value outside the solver's certified bound
+    versus exact Dinic, congestion outside the approximator guarantee,
+    demand conservation failure, a planted bottleneck the approximator
+    failed to detect, or cross-backend results that are not
+    bit-identical.
+
+    The message names the scenario, the invariant, and the measured
+    versus permitted quantities — a violation is a *library bug* (or a
+    deliberately broken component under mutation testing), never an
+    expected data condition."""

@@ -19,10 +19,12 @@ so every experiment is reproducible.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graphs.csr import WIDE_DTYPE
 from repro.graphs.graph import Graph
 from repro.util.rng import as_generator
 
@@ -42,6 +44,10 @@ __all__ = [
     "random_geometric",
     "weighted_variant",
     "push_relabel_hard_instance",
+    "power_law",
+    "road_network",
+    "PlantedBottleneckGraph",
+    "planted_bottleneck",
 ]
 
 
@@ -350,3 +356,227 @@ def push_relabel_hard_instance(levels: int) -> Graph:
     for v in range(1, levels):
         graph.add_edge(v, v + 1, 1.0)
     return graph
+
+
+def power_law(
+    num_nodes: int,
+    exponent: float = 2.5,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+    min_degree: int = 1,
+) -> Graph:
+    """A connected power-law graph via the configuration model.
+
+    Degrees are drawn from a discrete Pareto tail
+    ``d = floor(min_degree · u^{-1/(exponent-1)})`` (clipped to
+    ``n - 1``), stubs are paired uniformly, self-loops and duplicate
+    pairs are dropped, and the surviving simple graph is stitched
+    connected by linking consecutive components. The hub-and-tail
+    degree structure models the clustered/hub demand regimes the
+    distributed k-center literature motivates — the opposite extreme
+    from the regular grids and tori above.
+    """
+    if num_nodes < 2:
+        raise GraphError("power_law requires at least 2 nodes")
+    if exponent <= 1.0:
+        raise GraphError(f"power-law exponent must exceed 1, got {exponent}")
+    if min_degree < 1:
+        raise GraphError(f"min_degree must be >= 1, got {min_degree}")
+    rng = as_generator(rng)
+    u = rng.random(num_nodes)
+    degrees = np.floor(
+        min_degree * u ** (-1.0 / (exponent - 1.0))
+    ).astype(WIDE_DTYPE)
+    degrees = np.minimum(degrees, num_nodes - 1)
+    if int(degrees.sum()) % 2 == 1:
+        # One extra stub on the largest hub keeps the stub count even
+        # without disturbing the tail shape.
+        degrees[int(np.argmax(degrees))] += 1
+    stubs = np.repeat(np.arange(num_nodes, dtype=WIDE_DTYPE), degrees)
+    stubs = stubs[rng.permutation(len(stubs))]
+    tails, heads = stubs[0::2], stubs[1::2]
+    keep = tails != heads
+    tails, heads = tails[keep], heads[keep]
+    # Deduplicate pairs (canonical key) so the family stays a simple
+    # graph; parallel stubs are common around hubs.
+    lo = np.minimum(tails, heads)
+    hi = np.maximum(tails, heads)
+    _, first = np.unique(lo * num_nodes + hi, return_index=True)
+    lo, hi = lo[first], hi[first]
+    graph = Graph(num_nodes)
+    if len(lo):
+        caps = rng.integers(1, int(max_capacity) + 1, size=len(lo)).astype(
+            float
+        )
+        graph._append_bulk(lo, hi, caps)
+    components = graph.connected_components()
+    if len(components) > 1:
+        for left, right in zip(components, components[1:]):
+            a = left[int(rng.integers(0, len(left)))]
+            b = right[int(rng.integers(0, len(right)))]
+            graph.add_edge(a, b, _random_capacity(rng, max_capacity))
+    return graph
+
+
+def road_network(
+    rows: int,
+    cols: int,
+    delete_fraction: float = 0.2,
+    shortcuts: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    max_capacity: float = 100.0,
+) -> Graph:
+    """A road-network-like graph: a grid with deleted edges plus
+    long-range shortcuts.
+
+    Starting from a ``rows × cols`` grid, up to ``delete_fraction`` of
+    the edges are removed in a random order (an edge is only removed
+    when the remainder stays connected — real street networks are
+    connected but full of dead ends and missing links), then
+    ``shortcuts`` long-range edges (highways) are added between random
+    distant node pairs. Moderate diameter, irregular degrees, and a
+    mix of local and long-range capacity — the regime between the grid
+    and the expander families.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError("road_network requires rows, cols >= 2")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise GraphError(
+            f"delete_fraction must be in [0, 1), got {delete_fraction}"
+        )
+    rng = as_generator(rng)
+    base = grid(rows, cols, rng=rng, max_capacity=max_capacity)
+    n = base.num_nodes
+    tails, heads = (arr.copy() for arr in base.edge_index_arrays())
+    caps = base.capacities().copy()
+    alive = np.ones(base.num_edges, dtype=bool)
+    budget = int(delete_fraction * base.num_edges)
+
+    def _connected_without(candidate: int) -> bool:
+        alive[candidate] = False
+        kept = np.flatnonzero(alive)
+        probe = Graph._from_trusted_arrays(
+            n, tails[kept], heads[kept], caps[kept]
+        )
+        ok = probe.is_connected()
+        alive[candidate] = True
+        return ok
+
+    for eid in rng.permutation(base.num_edges):
+        if budget == 0:
+            break
+        if _connected_without(int(eid)):
+            alive[int(eid)] = False
+            budget -= 1
+    kept = np.flatnonzero(alive)
+    graph = Graph._from_trusted_arrays(n, tails[kept], heads[kept], caps[kept])
+    if shortcuts is None:
+        shortcuts = max(2, n // 24)
+    added = 0
+    while added < shortcuts:
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(0, n))
+        # Long-range only: skip pairs already adjacent in grid terms.
+        if a == b or abs(a - b) in (1, cols):
+            continue
+        graph.add_edge(a, b, _random_capacity(rng, max_capacity))
+        added += 1
+    return graph
+
+
+@dataclass(frozen=True, eq=False)
+class PlantedBottleneckGraph:
+    """A graph with a planted min-cut, plus the plant's coordinates.
+
+    Attributes:
+        graph: The generated graph.
+        left: Boolean node mask; ``True`` marks the left side of the
+            planted cut.
+        bridge_edges: Edge ids of the planted cut (every edge crossing
+            the sides — nothing else crosses).
+        cut_capacity: Total capacity of the planted cut at generation
+            time. Because all non-bridge edges carry strictly more
+            capacity than this total, it is the *unique* minimum s-t
+            cut value for any ``s`` on the left and ``t`` on the right
+            (verified against Dinic in the test suite). After capacity
+            mutations, recompute the live value as
+            ``graph.capacities()[bridge_edges].sum()``.
+    """
+
+    graph: Graph
+    left: np.ndarray
+    bridge_edges: np.ndarray
+    cut_capacity: float
+
+    def live_cut_capacity(self) -> float:
+        """The planted cut's capacity under the graph's *current*
+        capacities (tracks ``set_capacity`` write-throughs)."""
+        return float(self.graph.capacities()[self.bridge_edges].sum())
+
+
+def planted_bottleneck(
+    side_nodes: int,
+    bridge_edges: int = 3,
+    bridge_capacity: float = 1.0,
+    extra_edge_probability: float = 0.15,
+    rng: np.random.Generator | int | None = None,
+    capacity_spread: float = 4.0,
+) -> PlantedBottleneckGraph:
+    """Two well-connected sides joined by a known-capacity bottleneck.
+
+    Each side is a connected random graph on ``side_nodes`` nodes whose
+    every edge carries capacity strictly greater than the bridge total,
+    so any s-t cut (s left, t right) that severs an internal edge
+    already exceeds the planted value and the unique min cut is the
+    bridge. This makes the min-cut value *known by construction* —
+    the property the scenario invariants (and the mutation test that
+    breaks the approximator on purpose) are anchored to.
+    """
+    if side_nodes < 2:
+        raise GraphError("planted_bottleneck requires side_nodes >= 2")
+    if bridge_edges < 1:
+        raise GraphError("planted_bottleneck requires bridge_edges >= 1")
+    if not bridge_capacity > 0:
+        raise GraphError(
+            f"bridge_capacity must be positive, got {bridge_capacity}"
+        )
+    if capacity_spread < 1.0:
+        raise GraphError(f"capacity_spread must be >= 1, got {capacity_spread}")
+    rng = as_generator(rng)
+    total = bridge_edges * bridge_capacity
+    n = 2 * side_nodes
+    graph = Graph(n)
+
+    def _internal_capacity() -> float:
+        # Strictly above the planted total: the floor is total + 1 and
+        # the draw keeps the usual integer-capacity convention.
+        span = max(2, int(math.ceil(total * capacity_spread)))
+        return float(math.floor(total) + int(rng.integers(1, span + 1)))
+
+    for offset in (0, side_nodes):
+        order = rng.permutation(side_nodes)
+        for i in range(1, side_nodes):
+            parent = int(order[rng.integers(0, i)])
+            graph.add_edge(
+                offset + int(order[i]), offset + parent, _internal_capacity()
+            )
+        for a in range(side_nodes):
+            for b in range(a + 1, side_nodes):
+                if rng.random() < extra_edge_probability:
+                    graph.add_edge(offset + a, offset + b, _internal_capacity())
+    bridge_ids = []
+    for _ in range(bridge_edges):
+        a = int(rng.integers(0, side_nodes))
+        b = side_nodes + int(rng.integers(0, side_nodes))
+        bridge_ids.append(graph.add_edge(a, b, bridge_capacity))
+    left = np.zeros(n, dtype=bool)
+    left[:side_nodes] = True
+    left.setflags(write=False)
+    bridge = np.asarray(bridge_ids, dtype=WIDE_DTYPE)
+    bridge.setflags(write=False)
+    return PlantedBottleneckGraph(
+        graph=graph,
+        left=left,
+        bridge_edges=bridge,
+        cut_capacity=total,
+    )

@@ -1,0 +1,162 @@
+"""Demand models: gravity matrices, hotspot churn, adversarial cuts.
+
+Each model returns a ``(Q, n)`` plane of exactly zero-sum demand
+vectors (validated through :func:`repro.util.validation
+.check_demand_batch` by the runner) and is deterministic under the
+scenario's derived seed. The adversarial model is the one that gives
+the planted-bottleneck invariant its teeth: it pushes ``saturation``
+times the planted cut's capacity across the bridge, so the
+approximator's lower bound must report congestion ≈ ``saturation``
+within its α factor or the invariant fires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import (
+    DemandSpec,
+    TopologyInstance,
+    register_demand,
+    scenario_seed,
+)
+from repro.util.rng import as_generator
+
+__all__ = [
+    "adversarial_cut_demands",
+    "generate_demands",
+    "gravity_demands",
+    "hotspot_demands",
+]
+
+#: How many times the planted cut's capacity the adversarial model
+#: pushes across the bridge. Any routing of such a demand has
+#: congestion ≥ SATURATION on some bridge edge.
+SATURATION = 4.0
+
+
+def _zero_sum(plane: np.ndarray) -> np.ndarray:
+    """Project each row onto the zero-sum hyperplane exactly enough for
+    ``check_demand``: subtract the mean, then fold the residual float
+    error into the largest-magnitude entry."""
+    plane = plane - plane.mean(axis=1, keepdims=True)
+    residual = plane.sum(axis=1)
+    anchor = np.abs(plane).argmax(axis=1)
+    plane[np.arange(plane.shape[0]), anchor] -= residual
+    return plane
+
+
+def gravity_demands(
+    instance: TopologyInstance, num_queries: int, seed: int
+) -> np.ndarray:
+    """Gravity traffic matrices: node masses ~ degree, pairwise flows
+    ∝ mass(u)·mass(v), aggregated to a net per-node demand.
+
+    Rather than materializing the n×n pair matrix, each query samples a
+    mass vector (degree jittered by a lognormal factor) and takes the
+    net demand of the gravity exchange against the mass mean — the
+    closed form of summing mass(u)·mass(v)·(sign) over all pairs.
+    """
+    graph = instance.graph
+    rng = as_generator(scenario_seed(seed, "demand", "gravity"))
+    degrees = np.array(
+        [graph.degree(v) for v in graph.nodes()], dtype=float
+    )
+    plane = np.empty((num_queries, graph.num_nodes))
+    for q in range(num_queries):
+        mass = degrees * rng.lognormal(mean=0.0, sigma=0.6, size=degrees.shape)
+        # Net gravity demand: node u sends mass_u·mass_v to every v with
+        # smaller mass rank, receives from larger — equivalent to
+        # mass·(mass - mean(mass)) up to scale, which is what a gravity
+        # matrix nets out to when attraction is symmetric.
+        plane[q] = mass * (mass - mass.mean())
+    scale = np.abs(plane).max(axis=1, keepdims=True)
+    scale[scale == 0.0] = 1.0
+    return _zero_sum(plane / scale)
+
+
+def hotspot_demands(
+    instance: TopologyInstance, num_queries: int, seed: int
+) -> np.ndarray:
+    """Hotspot churn: each query concentrates demand on a fresh random
+    hotspot (a node and its neighborhood) sinking uniformly everywhere
+    else — the hotspot *moves* between queries, modeling churn."""
+    graph = instance.graph
+    n = graph.num_nodes
+    rng = as_generator(scenario_seed(seed, "demand", "hotspot"))
+    plane = np.zeros((num_queries, n))
+    for q in range(num_queries):
+        hub = int(rng.integers(n))
+        members = [hub] + [v for v, _ in graph.neighbors(hub)]
+        weights = rng.uniform(0.5, 1.0, size=len(members))
+        total = float(weights.sum())
+        plane[q, :] = -total / n
+        plane[q, members] += weights
+    return _zero_sum(plane)
+
+
+def adversarial_cut_demands(
+    instance: TopologyInstance, num_queries: int, seed: int
+) -> np.ndarray:
+    """Adversarial demands straddling the planted cut.
+
+    Sources spread over the left side, sinks over the right, total
+    volume ``SATURATION ×`` the *live* planted-cut capacity — so every
+    feasible routing congests some bridge edge to at least SATURATION,
+    and the approximator's cut rows must detect it.
+    """
+    planted = instance.planted
+    if planted is None:
+        raise ScenarioError(
+            f"adversarial_cut demand requires a planted-bottleneck "
+            f"topology; {instance.name!r} has no planted cut"
+        )
+    graph = instance.graph
+    n = graph.num_nodes
+    rng = as_generator(scenario_seed(seed, "demand", "adversarial_cut"))
+    left = np.flatnonzero(planted.left)
+    right = np.flatnonzero(~planted.left)
+    volume = SATURATION * planted.live_cut_capacity()
+    plane = np.zeros((num_queries, n))
+    for q in range(num_queries):
+        src_w = rng.uniform(0.5, 1.5, size=left.shape[0])
+        dst_w = rng.uniform(0.5, 1.5, size=right.shape[0])
+        plane[q, left] = volume * src_w / src_w.sum()
+        plane[q, right] = -volume * dst_w / dst_w.sum()
+    return _zero_sum(plane)
+
+
+register_demand(
+    DemandSpec(
+        "gravity",
+        gravity_demands,
+        description="degree-mass gravity traffic matrix, lognormal jitter",
+    )
+)
+register_demand(
+    DemandSpec(
+        "hotspot",
+        hotspot_demands,
+        description="churning hotspot: neighborhood source, uniform sink",
+    )
+)
+register_demand(
+    DemandSpec(
+        "adversarial_cut",
+        adversarial_cut_demands,
+        requires_planted=True,
+        description=(
+            f"straddles the planted cut at {SATURATION:g}x its capacity"
+        ),
+    )
+)
+
+
+def generate_demands(
+    instance: TopologyInstance, model: DemandSpec, num_queries: int, seed: int
+) -> np.ndarray:
+    """Generate and return the model's demand plane for an instance."""
+    return np.asarray(
+        model.generate(instance, num_queries, seed), dtype=float
+    )

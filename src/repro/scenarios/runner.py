@@ -1,0 +1,306 @@
+"""Scenario runner: execute a matrix, assert invariants, record perf.
+
+``run_matrix`` groups scenarios by everything-but-backend so a group
+shares one topology build, one failure application, one exact Dinic
+solve, and one congestion approximator; then every backend in the
+group routes the identical demand plane and the flows are compared
+bit-for-bit. Invariants (:mod:`repro.scenarios.invariants`) are
+asserted on the serial flows; perf is recorded per scenario (one
+record per Topology × Demand × Failure × Backend point).
+
+The approximator is built through an injectable ``build_approximator``
+hook so the suite's mutation test can hand the runner a deliberately
+broken R and prove the invariants catch it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.almost_route import RouteWorkspace
+from repro.core.approximator import (
+    TreeCongestionApproximator,
+    build_congestion_approximator,
+)
+from repro.core.maxflow import ApproxFlow, max_flow, min_congestion_flow
+from repro.errors import ScenarioError
+from repro.flow.dinic import dinic_max_flow
+from repro.graphs.graph import Graph
+from repro.scenarios import demand as demand_models
+from repro.scenarios import invariants
+from repro.scenarios.demand import generate_demands
+from repro.scenarios.failures import apply_failure
+from repro.scenarios.spec import (
+    Scenario,
+    TopologyInstance,
+    backend_config,
+    resolve_demand,
+    resolve_failure,
+    resolve_topology,
+    scenario_seed,
+)
+from repro.util.validation import check_demand_batch
+
+__all__ = [
+    "ApproximatorFactory",
+    "MatrixResult",
+    "ScenarioRecord",
+    "default_approximator",
+    "run_matrix",
+]
+
+#: Builds the congestion approximator for a (graph, seed) pair. The
+#: runner's injection point for the mutation test.
+ApproximatorFactory = Callable[[Graph, int], TreeCongestionApproximator]
+
+
+def default_approximator(
+    graph: Graph, seed: int
+) -> TreeCongestionApproximator:
+    """The production approximator under a scenario-derived seed."""
+    return build_congestion_approximator(graph, rng=seed)
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """Outcome of one scenario (one backend point of a group).
+
+    ``route_seconds`` is the wall time of routing the full demand plane
+    on this backend; ``maxflow_value`` / ``exact_value`` /
+    ``congestion`` / ``lower_bound`` are shared per group (they are
+    computed once, serially). ``invariants_checked`` counts the
+    invariant assertions that guarded this record.
+    """
+
+    scenario: Scenario
+    num_nodes: int
+    num_edges: int
+    failed_edges: int
+    version_delta: int
+    exact_value: float
+    maxflow_value: float
+    certified_upper_bound: float
+    alpha: float
+    congestion: float
+    lower_bound: float
+    iterations: int
+    route_seconds: float
+    invariants_checked: int
+
+
+@dataclass
+class MatrixResult:
+    """All records of a matrix run plus run-level accounting."""
+
+    records: list[ScenarioRecord] = field(default_factory=list)
+    groups: int = 0
+    total_seconds: float = 0.0
+
+    def by_name(self) -> dict[str, ScenarioRecord]:
+        return {record.scenario.name: record for record in self.records}
+
+
+def _group_scenarios(
+    scenarios: Sequence[Scenario],
+) -> list[list[Scenario]]:
+    """Group by everything-but-backend, preserving matrix order, and
+    reject duplicate backends within a group."""
+    groups: dict[tuple[str, str, str, float, int, int], list[Scenario]] = {}
+    for scenario in scenarios:
+        groups.setdefault(scenario.group_key, []).append(scenario)
+    for members in groups.values():
+        backends = [member.backend for member in members]
+        if len(set(backends)) != len(backends):
+            raise ScenarioError(
+                f"duplicate backend in scenario group "
+                f"{members[0].group_key}: {backends}"
+            )
+    return list(groups.values())
+
+
+def _route_plane(
+    graph: Graph,
+    plane: np.ndarray,
+    epsilon: float,
+    approximator: TreeCongestionApproximator,
+    backend: str,
+    workers: int,
+    workspace: RouteWorkspace,
+) -> tuple[list[ApproxFlow], float]:
+    """Route every demand of the plane on one backend; returns the
+    per-query results and the wall time of the sweep."""
+    config = backend_config(backend, workers=workers)
+    parallel = None if backend == "serial" else config
+    results: list[ApproxFlow] = []
+    start = time.perf_counter()
+    for row in plane:
+        results.append(
+            min_congestion_flow(
+                graph,
+                row,
+                epsilon=epsilon,
+                approximator=approximator,
+                workspace=workspace,
+                parallel=parallel,
+            )
+        )
+    return results, time.perf_counter() - start
+
+
+def _run_group(
+    members: Sequence[Scenario],
+    build_approximator: ApproximatorFactory,
+    workers: int,
+) -> list[ScenarioRecord]:
+    head = members[0]
+    topology_spec = resolve_topology(head.topology)
+    demand_spec = resolve_demand(head.demand)
+    failure_spec = resolve_failure(head.failure)
+    if demand_spec.requires_planted:
+        probe = topology_spec.build(head.seed)
+        if probe.planted is None:
+            raise ScenarioError(
+                f"scenario {head.name!r}: demand model "
+                f"{demand_spec.name!r} requires a planted-cut topology"
+            )
+        instance = probe
+    else:
+        instance = topology_spec.build(head.seed)
+
+    # Failure plane: mutate through set_capacity and pin the epoch
+    # accounting before anything downstream consumes the capacities.
+    report = apply_failure(instance, failure_spec, head.seed)
+    invariants.check_epoch_accounting(head.name, report)
+    graph = instance.graph
+
+    # Exact oracle and s-t invariants (serial, once per group).
+    source, sink = instance.source_sink()
+    exact = dinic_max_flow(graph, source, sink)
+    approximator = build_approximator(
+        graph, scenario_seed(head.seed, "approximator", head.topology)
+    )
+    workspace = RouteWorkspace(graph, approximator)
+    approx_result = max_flow(
+        graph,
+        source,
+        sink,
+        epsilon=head.epsilon,
+        approximator=approximator,
+        workspace=workspace,
+    )
+    invariants.check_maxflow_vs_exact(head.name, approx_result, exact.value)
+
+    # Demand plane, validated once and shared by every backend.
+    plane = generate_demands(
+        instance, demand_spec, head.num_queries, head.seed
+    )
+    plane = check_demand_batch(graph, plane)
+
+    serial_results, serial_seconds = _route_plane(
+        graph, plane, head.epsilon, approximator, "serial", workers, workspace
+    )
+    checked = 2  # epoch accounting + max-flow vs exact
+    for query, result in enumerate(serial_results):
+        label = f"{head.name}#q{query}"
+        invariants.check_conservation(label, graph, result)
+        invariants.check_congestion_soundness(label, result)
+        invariants.check_congestion_guarantee(
+            label, result, approximator, head.epsilon
+        )
+        checked += 3
+        if demand_spec.requires_planted:
+            invariants.check_planted_detection(
+                label, result, approximator, demand_models.SATURATION
+            )
+            checked += 1
+
+    records: list[ScenarioRecord] = []
+    for scenario in members:
+        group_checked = checked
+        if scenario.backend == "serial":
+            seconds = serial_seconds
+        else:
+            backend_results, seconds = _route_plane(
+                graph,
+                plane,
+                scenario.epsilon,
+                approximator,
+                scenario.backend,
+                workers,
+                workspace,
+            )
+            for query, result in enumerate(backend_results):
+                invariants.check_backend_identity(
+                    f"{scenario.name}#q{query}",
+                    scenario.backend,
+                    "serial",
+                    serial_results[query].flow,
+                    result.flow,
+                )
+                group_checked += 1
+        worst = max(result.congestion for result in serial_results)
+        bound = max(result.lower_bound for result in serial_results)
+        records.append(
+            ScenarioRecord(
+                scenario=scenario,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                failed_edges=int(report.edge_ids.shape[0]),
+                version_delta=report.version_delta,
+                exact_value=exact.value,
+                maxflow_value=approx_result.value,
+                certified_upper_bound=approx_result.certified_upper_bound,
+                alpha=approximator.alpha,
+                congestion=worst,
+                lower_bound=bound,
+                iterations=sum(r.iterations for r in serial_results),
+                route_seconds=seconds,
+                invariants_checked=group_checked,
+            )
+        )
+    return records
+
+
+def run_matrix(
+    scenarios: Iterable[Scenario],
+    build_approximator: ApproximatorFactory | None = None,
+    workers: int = 2,
+    progress: Callable[[str], None] | None = None,
+) -> MatrixResult:
+    """Run a scenario matrix, asserting every invariant.
+
+    Args:
+        scenarios: The matrix (e.g. from ``build_matrix`` or the
+            corpus); scenarios sharing everything but the backend are
+            executed as one group.
+        build_approximator: Approximator factory override (the mutation
+            test injects a sabotaged one; default is production).
+        workers: Worker count for the thread/process backends.
+        progress: Optional callback invoked with each group's name.
+
+    Returns:
+        A :class:`MatrixResult` with one record per scenario.
+
+    Raises:
+        InvariantViolation: The first invariant any scenario breaks.
+        ScenarioError: Malformed matrix (unknown axis names, duplicate
+            backends in a group, incompatible demand/topology pair).
+    """
+    factory = build_approximator or default_approximator
+    result = MatrixResult()
+    start = time.perf_counter()
+    for members in _group_scenarios(list(scenarios)):
+        if progress is not None:
+            head = members[0]
+            progress(
+                f"{head.topology} x {head.demand} x {head.failure} "
+                f"({len(members)} backends)"
+            )
+        result.records.extend(_run_group(members, factory, workers))
+        result.groups += 1
+    result.total_seconds = time.perf_counter() - start
+    return result

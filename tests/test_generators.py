@@ -150,3 +150,154 @@ class TestStructuredInstances:
         rng = np.random.default_rng(0)
         g = gen.random_connected(10, 0.1, rng=rng)
         assert g.is_connected()
+
+
+# ---------------------------------------------------------------------------
+# Scenario-corpus topology families (PR 9): property-based contracts.
+# ---------------------------------------------------------------------------
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flow import dinic_max_flow
+from repro.graphs.csr import INDEX_DTYPE, WIDE_DTYPE
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_dtype_contract(graph):
+    tails, heads = graph.edge_index_arrays()
+    assert tails.dtype == INDEX_DTYPE
+    assert heads.dtype == INDEX_DTYPE
+    assert graph.capacities().dtype == np.float64
+
+
+class TestPowerLawProperties:
+    @_PROPERTY_SETTINGS
+    @given(
+        n=st.integers(min_value=8, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+        exponent=st.floats(min_value=2.1, max_value=3.5),
+    )
+    def test_connected_with_dtype_contract(self, n, seed, exponent):
+        g = gen.power_law(n, exponent=exponent, rng=seed)
+        assert g.num_nodes == n
+        assert g.is_connected()
+        assert np.all(g.capacities() > 0)
+        _assert_dtype_contract(g)
+
+    @_PROPERTY_SETTINGS
+    @given(
+        n=st.integers(min_value=8, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_seed_determinism(self, n, seed):
+        first = gen.power_law(n, rng=seed)
+        second = gen.power_law(n, rng=seed)
+        fu, fv = first.edge_index_arrays()
+        su, sv = second.edge_index_arrays()
+        assert np.array_equal(fu, su)
+        assert np.array_equal(fv, sv)
+        assert np.array_equal(first.capacities(), second.capacities())
+
+    def test_min_degree_is_respected(self):
+        g = gen.power_law(60, min_degree=2, rng=3)
+        degrees = [g.degree(v) for v in g.nodes()]
+        # Stub pairing can drop self-loops/duplicates, but the floor
+        # may dip by at most those removals; the bulk must hold it.
+        assert np.median(degrees) >= 2
+
+    def test_exponent_validation(self):
+        with pytest.raises(GraphError):
+            gen.power_law(10, exponent=1.0)
+
+
+class TestRoadNetworkProperties:
+    @_PROPERTY_SETTINGS
+    @given(
+        rows=st.integers(min_value=3, max_value=12),
+        cols=st.integers(min_value=3, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+        delete=st.floats(min_value=0.0, max_value=0.4),
+    )
+    def test_connected_with_dtype_contract(self, rows, cols, seed, delete):
+        g = gen.road_network(rows, cols, delete_fraction=delete, rng=seed)
+        assert g.num_nodes == rows * cols
+        assert g.is_connected()
+        _assert_dtype_contract(g)
+
+    @_PROPERTY_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_seed_determinism(self, seed):
+        first = gen.road_network(8, 8, rng=seed)
+        second = gen.road_network(8, 8, rng=seed)
+        fu, fv = first.edge_index_arrays()
+        su, sv = second.edge_index_arrays()
+        assert np.array_equal(fu, su)
+        assert np.array_equal(fv, sv)
+        assert np.array_equal(first.capacities(), second.capacities())
+
+    def test_shortcuts_added_and_edges_deleted(self):
+        base = gen.grid(10, 10, rng=0)
+        g = gen.road_network(10, 10, delete_fraction=0.3, shortcuts=5, rng=1)
+        # Deletions remove grid edges; shortcuts add long-range ones.
+        tails, heads = g.edge_index_arrays()
+        span = np.abs(tails.astype(np.int64) - heads.astype(np.int64))
+        assert np.any((span != 1) & (span != 10))  # a long-range edge
+        assert g.num_edges < base.num_edges + 5
+
+
+class TestPlantedBottleneckProperties:
+    @_PROPERTY_SETTINGS
+    @given(
+        side=st.integers(min_value=6, max_value=24),
+        bridges=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_min_cut_equals_planted_value(self, side, bridges, seed):
+        planted = gen.planted_bottleneck(
+            side, bridge_edges=bridges, bridge_capacity=1.5, rng=seed
+        )
+        g = planted.graph
+        assert g.is_connected()
+        assert planted.cut_capacity == bridges * 1.5
+        s = int(np.flatnonzero(planted.left)[0])
+        t = int(np.flatnonzero(~planted.left)[0])
+        exact = dinic_max_flow(g, s, t)
+        assert exact.value == pytest.approx(planted.cut_capacity, rel=1e-9)
+
+    @_PROPERTY_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_seed_determinism_and_metadata(self, seed):
+        first = gen.planted_bottleneck(12, rng=seed)
+        second = gen.planted_bottleneck(12, rng=seed)
+        fu, fv = first.graph.edge_index_arrays()
+        su, sv = second.graph.edge_index_arrays()
+        assert np.array_equal(fu, su)
+        assert np.array_equal(fv, sv)
+        assert np.array_equal(
+            first.graph.capacities(), second.graph.capacities()
+        )
+        assert np.array_equal(first.bridge_edges, second.bridge_edges)
+        assert first.bridge_edges.dtype == WIDE_DTYPE
+        assert first.left.dtype == np.bool_
+        assert first.left.sum() == 12
+        _assert_dtype_contract(first.graph)
+
+    def test_bridge_edges_cross_the_partition(self):
+        planted = gen.planted_bottleneck(10, bridge_edges=3, rng=5)
+        tails, heads = planted.graph.edge_index_arrays()
+        for eid in planted.bridge_edges.tolist():
+            assert planted.left[tails[eid]] != planted.left[heads[eid]]
+
+    def test_live_cut_capacity_tracks_mutation(self):
+        planted = gen.planted_bottleneck(10, bridge_edges=2, rng=5)
+        before = planted.live_cut_capacity()
+        eid = int(planted.bridge_edges[0])
+        original = float(planted.graph.capacities()[eid])
+        planted.graph.set_capacity(eid, 0.5)
+        after = planted.live_cut_capacity()
+        assert after == pytest.approx(before - original + 0.5, rel=1e-9)

@@ -19,6 +19,13 @@ and fails — exit code 1 — if any median regresses more than
 ``--factor`` (default 2×) versus the checked-in
 ``BENCH_graphcore.json`` baseline.
 
+When a checked-in ``BENCH_scenarios.json`` exists (written by
+``tools/run_scenarios.py --quick``), the gate also re-measures the
+scenario-corpus benchmark subset — serial routing of each named
+scenario's demand plane, with the full invariant set asserted on the
+same run — against the recorded ``after_s`` rows under the same
+``--factor``.
+
 When a checked-in ``BENCH_serving.json`` exists (written by
 ``tools/bench_serving.py``), the gate also enforces that its recorded
 ``batch_q64_speedup`` — batched serving throughput vs sequential
@@ -82,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum recorded batch_q64_speedup in the serving "
         "baseline (guards against committing a degraded serving run)",
     )
+    parser.add_argument(
+        "--scenarios-baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scenarios.json",
+        help="path to the checked-in scenario-corpus baseline JSON "
+        "written by tools/run_scenarios.py --quick (skipped when "
+        "absent)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())["metrics"]
@@ -123,6 +138,39 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio > args.factor:
             failures.append(name)
+
+    # Scenario-corpus routing rows: re-measure the benchmark subset of
+    # the quick matrix (serial, full invariant set asserted on the same
+    # run) against the checked-in BENCH_scenarios.json baseline.
+    if args.scenarios_baseline.exists():
+        scenario_baseline = json.loads(
+            args.scenarios_baseline.read_text()
+        )["metrics"]
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.scenarios.report import measure_scenario_benchmarks
+
+        for name, current_s in measure_scenario_benchmarks().items():
+            row = scenario_baseline.get(name)
+            if row is None:
+                print(
+                    f"SKIP {name}: no baseline row "
+                    f"({current_s:.4f}s measured)"
+                )
+                continue
+            base_s = float(row["after_s"])
+            ratio = current_s / base_s
+            status = "FAIL" if ratio > args.factor else "ok"
+            print(
+                f"{status:>4} {name}: baseline={base_s:.4f}s "
+                f"current={current_s:.4f}s ratio={ratio:.2f}x "
+                f"(limit {args.factor:.1f}x)"
+            )
+            if ratio > args.factor:
+                failures.append(name)
+    else:
+        print(
+            f"SKIP scenario rows: {args.scenarios_baseline.name} not found"
+        )
 
     # Serving-throughput floor: the checked-in BENCH_serving.json is a
     # recorded acceptance run, not re-measured here (the full profile
