@@ -62,12 +62,16 @@ def accelerated_almost_route(
     raise_on_budget: bool = False,
     workspace: RouteWorkspace | None = None,
     parallel: "ParallelConfig | None" = None,
+    initial_flow: np.ndarray | None = None,
 ) -> AlmostRouteResult:
     """Momentum-accelerated Algorithm 2.
 
     Same contract as :func:`repro.core.almost_route.almost_route`
-    (including the optional sharded-execution ``parallel`` override);
-    on well-conditioned instances it converges in noticeably fewer
+    (including the optional sharded-execution ``parallel`` override and
+    the ``initial_flow=`` warm start — the seed primes both the iterate
+    and the momentum anchor ``f_prev``, so the first step is plain
+    gradient descent from the seed, zero momentum); on
+    well-conditioned instances it converges in noticeably fewer
     iterations (the footnote-3 α²→α improvement shows up as a smaller
     effective step-count constant).
     """
@@ -105,8 +109,16 @@ def accelerated_almost_route(
     f = ws.flow
     f_prev = ws.flow_prev
     z = ws.lookahead
-    f[:] = 0.0
-    f_prev[:] = 0.0
+    if initial_flow is None:
+        f[:] = 0.0
+    else:
+        seed = np.asarray(initial_flow, dtype=float)
+        if seed.shape != (m,):
+            raise GraphError(
+                f"initial_flow has shape {seed.shape}, expected ({m},)"
+            )
+        np.divide(seed, kb, out=f)
+    f_prev[:] = f
     kf = 1.0
     scalings = 0
     iterations = 0
@@ -176,6 +188,7 @@ def accelerated_almost_route_batch(
     raise_on_budget: bool = False,
     workspace: BatchRouteWorkspace | None = None,
     parallel: "ParallelConfig | None" = None,
+    initial_flows: np.ndarray | None = None,
 ) -> BatchAlmostRouteResult:
     """Momentum-accelerated Algorithm 2 on ``Q`` stacked demands.
 
@@ -229,8 +242,18 @@ def accelerated_almost_route_batch(
     f = ws.flow
     f_prev = ws.flow_prev
     z = ws.lookahead
-    f[:] = 0.0
-    f_prev[:] = 0.0
+    if initial_flows is None:
+        f[:] = 0.0
+    else:
+        seeds = np.asarray(initial_flows, dtype=float)
+        if seeds.shape != (num_queries, m):
+            raise GraphError(
+                f"initial_flows has shape {seeds.shape}, expected "
+                f"({num_queries}, {m})"
+            )
+        np.divide(seeds, safe_kb[:, None], out=f)
+        f[~active] = 0.0
+    f_prev[:] = f
     ws.kf[:] = 1.0
     ws.scalings[:] = 0
     ws.iterations[:] = 0

@@ -81,6 +81,10 @@ class RouteWorkspace:
         m = graph.num_edges
         n = graph.num_nodes
         rows = approximator.num_rows
+        # Shape-derived only — deliberately epoch-independent. A
+        # capacity-only mutation (set_capacity) changes no buffer shape,
+        # so pooled workspaces must survive it; the incremental serving
+        # policy relies on exactly that.
         self.shape_key = (m, n, rows)
         # m-shaped
         self.flow = np.empty(m)
@@ -157,6 +161,8 @@ class BatchRouteWorkspace:
         q = int(num_queries)
         if q <= 0:
             raise GraphError(f"batch workspace needs Q >= 1, got {num_queries}")
+        # Shape-derived only — epoch-independent for the same reason as
+        # RouteWorkspace.shape_key (capacity writes must not flush pools).
         self.shape_key = (q, m, n, rows)
         self.num_queries = q
         # (Q, m) planes
@@ -425,6 +431,7 @@ def almost_route(
     raise_on_budget: bool = False,
     workspace: RouteWorkspace | None = None,
     parallel: ParallelConfig | None = None,
+    initial_flow: np.ndarray | None = None,
 ) -> AlmostRouteResult:
     """Run Algorithm 2.
 
@@ -446,6 +453,15 @@ def almost_route(
         parallel: Optional sharded-execution config for the R products
             (overrides the approximator's own; results are
             bit-identical either way).
+        initial_flow: Optional warm-start seed in *original* (unscaled)
+            units — typically a previous epoch's flow for the same
+            demand, rescaled to the current capacities via
+            :func:`repro.graphs.journal.rescale_flow`. The descent
+            starts from this point instead of zero; every exit bound
+            (the δ < ε/4 certificate and the soft capacity potential)
+            is checked on the iterate itself, so the result satisfies
+            exactly the guarantees of a cold start — a good seed only
+            shortens the path there.
 
     Returns:
         An :class:`AlmostRouteResult`. ``flow`` is *not* necessarily
@@ -487,7 +503,15 @@ def almost_route(
     kb = two_alpha * norm_rb / target
     b = demand / kb
     f = ws.flow
-    f[:] = 0.0
+    if initial_flow is None:
+        f[:] = 0.0
+    else:
+        seed = np.asarray(initial_flow, dtype=float)
+        if seed.shape != (m,):
+            raise GraphError(
+                f"initial_flow has shape {seed.shape}, expected ({m},)"
+            )
+        np.divide(seed, kb, out=f)
     kf = 1.0
     scalings = 0
     iterations = 0
@@ -589,6 +613,7 @@ def almost_route_batch(
     raise_on_budget: bool = False,
     workspace: BatchRouteWorkspace | None = None,
     parallel: ParallelConfig | None = None,
+    initial_flows: np.ndarray | None = None,
 ) -> BatchAlmostRouteResult:
     """Run Algorithm 2 on ``Q`` stacked demands at once.
 
@@ -616,6 +641,11 @@ def almost_route_batch(
             :class:`~repro.errors.GraphError`.
         parallel: Optional sharded-execution config for the batched R
             products (results are bit-identical either way).
+        initial_flows: Optional ``(Q, m)`` plane of warm-start seeds in
+            original units (see :func:`almost_route`'s ``initial_flow``;
+            per-column bit-identity with the one-shot warm start is
+            preserved — the seed scaling is a single per-row division
+            by the same ``kb``).
 
     Returns:
         A :class:`BatchAlmostRouteResult` with one column per query.
@@ -665,7 +695,17 @@ def almost_route_batch(
     ws.b[~active] = 0.0
     b = ws.b
     f = ws.flow
-    f[:] = 0.0
+    if initial_flows is None:
+        f[:] = 0.0
+    else:
+        seeds = np.asarray(initial_flows, dtype=float)
+        if seeds.shape != (num_queries, m):
+            raise GraphError(
+                f"initial_flows has shape {seeds.shape}, expected "
+                f"({num_queries}, {m})"
+            )
+        np.divide(seeds, safe_kb[:, None], out=f)
+        f[~active] = 0.0
     ws.kf[:] = 1.0
     ws.scalings[:] = 0
     ws.iterations[:] = 0

@@ -115,6 +115,7 @@ def min_congestion_flow(
     residual_rounds: int | None = None,
     workspace: RouteWorkspace | None = None,
     parallel: ParallelConfig | None = None,
+    initial_flow: np.ndarray | None = None,
 ) -> ApproxFlow:
     """Route ``demand`` with approximately minimal congestion.
 
@@ -134,6 +135,11 @@ def min_congestion_flow(
             in to amortize it further).
         parallel: Optional sharded-execution config for the R products
             across every residual round (bit-identical to serial).
+        initial_flow: Optional warm-start seed for the *first*
+            AlmostRoute round (a previous epoch's flow for this demand,
+            rescaled via :func:`repro.graphs.journal.rescale_flow`);
+            residual rounds refine from the achieved residual as usual,
+            so the exit guarantees are unchanged.
 
     Returns:
         An :class:`ApproxFlow` whose flow routes ``demand`` exactly.
@@ -172,6 +178,7 @@ def min_congestion_flow(
             accuracy,
             max_iterations=max_iterations,
             workspace=workspace,
+            initial_flow=initial_flow if round_index == 0 else None,
         )
         total_flow += result.flow
         iterations += result.iterations

@@ -88,6 +88,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graphs.csr import WIDE_DTYPE
 from repro.hotpath import hot_kernel
+from repro.parallel.arena import tag_array_version
 from repro.parallel.config import ParallelConfig, resolve_config
 from repro.parallel.plan import ShardPlan
 from repro.parallel.pool import get_pool
@@ -322,6 +323,10 @@ class StackedTreeOperator:
         self._row_inv_capacity = (
             np.concatenate(inv_caps) if inv_caps else np.zeros(0)
         )
+        # Monotone data epoch of _row_inv_capacity: bumped by every
+        # refresh_inv_capacity so cached shard views (aliases of the
+        # base vector) are re-exported by the shared-memory arena.
+        self._data_version = 0
         self.num_rows = len(self._tin_rows)
         R = self.num_rows
         # Per-tree row boundaries: tree t owns rows
@@ -351,6 +356,34 @@ class StackedTreeOperator:
         # reuse a handful of fixed batch sizes, so the cache stays
         # small); every entry is fully overwritten before it is read.
         self._batch_cache: dict[int, dict[str, np.ndarray]] = {}
+
+    def refresh_inv_capacity(
+        self, inv_caps: Sequence[np.ndarray]
+    ) -> None:
+        """Patch the inverse-capacity row vector in place (capacity-only
+        delta; row layout unchanged).
+
+        Every cached shard's ``inv_capacity`` is a read-only *view*
+        aliasing the base vector, so the write propagates to every
+        shard without re-slicing; the views' shared-memory export tags
+        are advanced so the process pool's persistent arena re-exports
+        the new bytes on the next map instead of serving stale ones.
+        """
+        flat = (
+            np.concatenate(list(inv_caps))
+            if len(inv_caps)
+            else np.zeros(0)
+        )
+        if flat.shape != self._row_inv_capacity.shape:
+            raise GraphError(
+                f"refresh_inv_capacity: got {flat.shape[0]} rows, "
+                f"operator has {self.num_rows}"
+            )
+        self._row_inv_capacity[:] = flat
+        self._data_version += 1
+        for shards in self._shard_cache.values():
+            for shard in shards:
+                tag_array_version(shard.inv_capacity, self._data_version)
 
     def _batch_scratch(self, num_queries: int) -> dict[str, np.ndarray]:
         """Cached per-Q scratch volumes for the serial batch paths."""

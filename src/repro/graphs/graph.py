@@ -54,6 +54,7 @@ from repro.graphs.csr import (
     WIDE_DTYPE,
     build_csr,
 )
+from repro.graphs.journal import CapacityDelta, DeltaJournal
 from repro.hotpath import hot_kernel
 from repro.parallel.arena import tag_array_version
 
@@ -132,6 +133,7 @@ class Graph:
         # buffer (no regrow in between), so a write-through must retag
         # all of them, not just the currently cached one.
         self._cap_view_refs: list[weakref.ref] = []
+        self._journal = DeltaJournal()
         self._invalidate()
         triples = list(edges)
         if triples:
@@ -149,8 +151,11 @@ class Graph:
         """Drop every derived view after a structural mutation, and
         advance the cache-invalidation counter that version-keys any
         cross-call shared-memory exports of the cached views (see
-        :mod:`repro.parallel.arena`)."""
+        :mod:`repro.parallel.arena`). Structural mutations shift what
+        edge ids mean, so the delta journal is re-based: capacity
+        deltas never span a structural change."""
         self._version += 1
+        self._journal.mark_structural(self._version)
         self._csr_cache: CSRAdjacency | None = None
         self._adj_cache: list[list[tuple[int, int]]] | None = None
         self._cap_view: np.ndarray | None = None
@@ -353,8 +358,10 @@ class Graph:
         cap = float(capacity)
         if not cap > 0 or not np.isfinite(cap):
             raise GraphError(f"capacity must be positive, got {capacity}")
-        self._cap[self._edge_slot(eid)] = cap
-        self._version += 1
+        slot = self._edge_slot(eid)
+        old = float(self._cap[slot])
+        self._cap[slot] = cap
+        self._record_capacity_delta(slot, old, cap)
         live = []
         for ref in self._cap_view_refs:
             view = ref()
@@ -362,6 +369,42 @@ class Graph:
                 tag_array_version(view, self._version)
                 live.append(ref)
         self._cap_view_refs = live
+
+    def _record_capacity_delta(
+        self, slot: int, old: float, new: float
+    ) -> None:
+        """Advance the epoch for one capacity write and journal it.
+
+        The single sanctioned version bump for capacity-only mutations:
+        the bump and the journal record are inseparable, so
+        ``deltas_since`` can account for every version step in its
+        window (repolint's epoch-discipline rule requires capacity
+        writes to route through here or through ``_invalidate``).
+        """
+        self._version += 1
+        self._journal.record(self._version, slot, old, new)
+
+    def deltas_since(self, epoch: int) -> CapacityDelta | None:
+        """The coalesced capacity-only delta from ``epoch`` to now.
+
+        ``None`` means the journal cannot vouch for the interval — a
+        structural mutation intervened, the bounded journal overflowed,
+        or ``epoch`` is out of range — and the caller must fall back to
+        full invalidation. An equal-epoch query returns an empty delta.
+        """
+        return self._journal.deltas_since(epoch, self._version)
+
+    @property
+    def journal_size(self) -> int:
+        """Retained journal records (== ``_version`` delta since the
+        journal's base when no overflow occurred)."""
+        return self._journal.size
+
+    @property
+    def journal_overflowed(self) -> bool:
+        """Whether the bounded journal has dropped records since the
+        last structural mutation."""
+        return self._journal.overflowed
 
     def csr(self) -> CSRAdjacency:
         """Return the cached CSR adjacency (built lazily, invalidated on

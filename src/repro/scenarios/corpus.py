@@ -63,7 +63,7 @@ def quick_matrix() -> list[Scenario]:
     matrix += build_matrix(
         topologies=("planted_60",),
         demands=("gravity", "hotspot", "adversarial_cut"),
-        failures=("none", "degrade"),
+        failures=("none", "degrade", "restore"),
         backends=BACKENDS,
         epsilon=QUICK_EPSILON,
         num_queries=2,
@@ -74,8 +74,8 @@ def quick_matrix() -> list[Scenario]:
 
 def full_matrix() -> list[Scenario]:
     """The widened nightly/local matrix: adds the grid and large
-    power-law topologies, the delete failure model, a third query, and
-    all three backends on every group."""
+    power-law topologies, the delete and restore failure models, a
+    third query, and all three backends on every group."""
     return build_matrix(
         topologies=(
             "torus_9x9",
@@ -86,7 +86,7 @@ def full_matrix() -> list[Scenario]:
             "planted_60",
         ),
         demands=("gravity", "hotspot", "adversarial_cut"),
-        failures=("none", "degrade", "delete"),
+        failures=("none", "degrade", "delete", "restore"),
         backends=BACKENDS,
         epsilon=QUICK_EPSILON,
         num_queries=3,

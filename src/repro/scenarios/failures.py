@@ -34,6 +34,7 @@ __all__ = [
     "degrade_failure",
     "delete_failure",
     "no_failure",
+    "restore_failure",
 ]
 
 #: Capacity assigned to a "deleted" edge. Strictly positive (a
@@ -46,6 +47,10 @@ FAILURE_FRACTION = 0.1
 
 #: Multiplier applied by the degradation model.
 DEGRADE_FACTOR = 0.25
+
+#: Multiplier applied by the restoration model (capacity *increase* —
+#: the recovery half of a degrade/restore cycle).
+RESTORE_FACTOR = 4.0
 
 
 def _sample_edges(
@@ -106,6 +111,26 @@ def degrade_failure(instance: TopologyInstance, seed: int) -> FailureReport:
     )
 
 
+def restore_failure(instance: TopologyInstance, seed: int) -> FailureReport:
+    """Restore ~10% of edges to RESTORE_FACTOR of their capacity — the
+    capacity-*increase* direction. Exercises the same set_capacity /
+    journal path as degradation but shifts optimal routings toward the
+    restored edges, so warm re-routes seeded from the pre-restore flow
+    must still converge to the guarantee (a seed the optimum moved away
+    from)."""
+    graph = instance.graph
+    edges = _sample_edges(instance, seed, "restore")
+    caps = graph.capacities()[edges] * RESTORE_FACTOR
+    before = graph._version
+    for eid, cap in zip(edges.tolist(), caps.tolist()):
+        graph.set_capacity(int(eid), float(cap))
+    return FailureReport(
+        name="restore",
+        edge_ids=edges,
+        version_delta=graph._version - before,
+    )
+
+
 register_failure(
     FailureSpec("none", no_failure, description="healthy baseline")
 )
@@ -126,6 +151,16 @@ register_failure(
         description=(
             f"~{FAILURE_FRACTION:.0%} of edges cut to "
             f"{DEGRADE_FACTOR:g}x capacity"
+        ),
+    )
+)
+register_failure(
+    FailureSpec(
+        "restore",
+        restore_failure,
+        description=(
+            f"~{FAILURE_FRACTION:.0%} of edges raised to "
+            f"{RESTORE_FACTOR:g}x capacity"
         ),
     )
 )

@@ -34,6 +34,12 @@ The invariants and why they hold:
 * **backend identity** — sharded R products are bit-identical to
   serial by contract, so flows from different backends must match to
   the last bit (exact array equality, no tolerance).
+* **warm agreement** — a warm-started re-route (seeded with the
+  previous epoch's flow rescaled to the new capacities) answers the
+  same optimization problem as a cold one, so both must satisfy the
+  identical ``(1+ε)·α`` guarantee against the shared lower bound, and
+  their lower bounds must match exactly (same R, same demand). The
+  seed changes the descent trajectory, never the contract.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ __all__ = [
     "check_epoch_accounting",
     "check_maxflow_vs_exact",
     "check_planted_detection",
+    "check_warm_agreement",
 ]
 
 #: Multiplicative slack on the (1+ε)·α guarantee. The bound is on the
@@ -177,6 +184,44 @@ def check_planted_detection(
             f"{result.lower_bound:.6g} below saturation({saturation:g})"
             f"/alpha({approximator.alpha:.4g}) = {required:.6g} — the "
             f"approximator missed the planted bottleneck"
+        )
+
+
+def check_warm_agreement(
+    scenario: str,
+    warm: ApproxFlow,
+    cold: ApproxFlow,
+    approximator: TreeCongestionApproximator,
+    epsilon: float,
+) -> None:
+    """Warm and cold re-routes agree to the guarantee bound.
+
+    Both runs route the same demand on the same graph through the same
+    R, so their lower bounds are the same deterministic quantity and
+    each congestion must clear the same ``(1+ε)·α·lb·slack`` ceiling.
+    A warm start that broke convergence (e.g. a mis-rescaled seed that
+    stranded the descent) trips the guarantee check on the warm side.
+    """
+    if warm.lower_bound != cold.lower_bound:
+        raise InvariantViolation(
+            f"[{scenario}] warm agreement: warm lower bound "
+            f"{warm.lower_bound:.6g} differs from cold "
+            f"{cold.lower_bound:.6g} — same R and demand must give the "
+            f"same deterministic estimate"
+        )
+    check_congestion_guarantee(f"{scenario}(warm)", warm, approximator, epsilon)
+    check_congestion_guarantee(f"{scenario}(cold)", cold, approximator, epsilon)
+    bound = max(warm.lower_bound, REL_TOL)
+    gap = abs(warm.congestion - cold.congestion)
+    permitted = (
+        (1.0 + epsilon) * approximator.alpha * bound * GUARANTEE_SLACK
+    )
+    if gap > permitted:
+        raise InvariantViolation(
+            f"[{scenario}] warm agreement: warm congestion "
+            f"{warm.congestion:.6g} and cold congestion "
+            f"{cold.congestion:.6g} differ by {gap:.6g}, beyond the "
+            f"guarantee bound {permitted:.6g}"
         )
 
 

@@ -30,11 +30,13 @@ from repro.core.maxflow import ApproxFlow, max_flow, min_congestion_flow
 from repro.errors import ScenarioError
 from repro.flow.dinic import dinic_max_flow
 from repro.graphs.graph import Graph
+from repro.graphs.journal import rescale_flow
 from repro.scenarios import demand as demand_models
 from repro.scenarios import invariants
 from repro.scenarios.demand import generate_demands
 from repro.scenarios.failures import apply_failure
 from repro.scenarios.spec import (
+    FailureReport,
     Scenario,
     TopologyInstance,
     backend_config,
@@ -43,6 +45,7 @@ from repro.scenarios.spec import (
     resolve_topology,
     scenario_seed,
 )
+from repro.util.rng import as_generator
 from repro.util.validation import check_demand_batch
 
 __all__ = [
@@ -56,6 +59,11 @@ __all__ = [
 #: Builds the congestion approximator for a (graph, seed) pair. The
 #: runner's injection point for the mutation test.
 ApproximatorFactory = Callable[[Graph, int], TreeCongestionApproximator]
+
+#: Warm re-route stage: capacity multiplier and fraction of edges the
+#: mid-run degradation touches before the warm-seeded re-route.
+WARM_DEGRADE_FACTOR = 0.5
+WARM_FRACTION = 0.05
 
 
 def default_approximator(
@@ -151,6 +159,80 @@ def _route_plane(
     return results, time.perf_counter() - start
 
 
+def _warm_reroute_stage(
+    head: Scenario,
+    graph: Graph,
+    demand: np.ndarray,
+    approximator: TreeCongestionApproximator,
+    workspace: RouteWorkspace,
+    previous: ApproxFlow,
+) -> int:
+    """Route → degrade → re-route warm (the dynamic-graph stage).
+
+    After the group's routing is done, degrade a deterministic ~5% of
+    edges through ``set_capacity``, read the capacity delta back from
+    the graph's journal, refresh the approximator in place (resampling
+    journal-intersecting trees), and re-route the first demand twice:
+    seeded with the previous flow rescaled to the new capacities, and
+    cold. Asserts epoch accounting for the stage's own writes, exact
+    conservation of the warm flow, and warm/cold agreement to the
+    guarantee bound. Returns the number of invariant checks performed.
+
+    Runs last in the group on purpose — it mutates the shared graph,
+    so every backend comparison has already been recorded.
+    """
+    epoch = graph._version
+    rng = as_generator(scenario_seed(head.seed, "warm-reroute", head.topology))
+    count = max(1, int(graph.num_edges * WARM_FRACTION))
+    edges = np.sort(rng.choice(graph.num_edges, size=count, replace=False))
+    for eid in edges.tolist():
+        graph.set_capacity(
+            int(eid), graph.capacity(int(eid)) * WARM_DEGRADE_FACTOR
+        )
+    invariants.check_epoch_accounting(
+        f"{head.name}#warm",
+        FailureReport(
+            name="warm-degrade",
+            edge_ids=edges,
+            version_delta=graph._version - epoch,
+        ),
+    )
+    delta = graph.deltas_since(epoch)
+    if delta is None:
+        raise ScenarioError(
+            f"scenario {head.name!r}: journal lost a capacity-only "
+            f"delta of {count} edges (overflowed="
+            f"{graph.journal_overflowed})"
+        )
+    approximator.refresh_capacities(
+        delta.edge_ids,
+        rng=as_generator(
+            scenario_seed(head.seed, "warm-resample", head.topology)
+        ),
+    )
+    warm = min_congestion_flow(
+        graph,
+        demand,
+        epsilon=head.epsilon,
+        approximator=approximator,
+        workspace=workspace,
+        initial_flow=rescale_flow(previous.flow, delta),
+    )
+    cold = min_congestion_flow(
+        graph,
+        demand,
+        epsilon=head.epsilon,
+        approximator=approximator,
+        workspace=workspace,
+    )
+    label = f"{head.name}#warm"
+    invariants.check_conservation(label, graph, warm)
+    invariants.check_warm_agreement(
+        label, warm, cold, approximator, head.epsilon
+    )
+    return 3
+
+
 def _run_group(
     members: Sequence[Scenario],
     build_approximator: ApproximatorFactory,
@@ -218,7 +300,7 @@ def _run_group(
             )
             checked += 1
 
-    records: list[ScenarioRecord] = []
+    backend_rows: list[tuple[Scenario, float, int]] = []
     for scenario in members:
         group_checked = checked
         if scenario.backend == "serial":
@@ -242,6 +324,16 @@ def _run_group(
                     result.flow,
                 )
                 group_checked += 1
+        backend_rows.append((scenario, seconds, group_checked))
+
+    # The warm re-route stage mutates the graph, so it runs strictly
+    # after every backend has routed the (pre-stage) plane.
+    warm_checked = _warm_reroute_stage(
+        head, graph, plane[0], approximator, workspace, serial_results[0]
+    )
+
+    records: list[ScenarioRecord] = []
+    for scenario, seconds, group_checked in backend_rows:
         worst = max(result.congestion for result in serial_results)
         bound = max(result.lower_bound for result in serial_results)
         records.append(
@@ -259,7 +351,7 @@ def _run_group(
                 lower_bound=bound,
                 iterations=sum(r.iterations for r in serial_results),
                 route_seconds=seconds,
-                invariants_checked=group_checked,
+                invariants_checked=group_checked + warm_checked,
             )
         )
     return records

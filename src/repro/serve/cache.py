@@ -100,6 +100,30 @@ class ResultCache:
             self.invalidations += 1
         return moved
 
+    def salvage_epoch(self, version: int) -> "OrderedDict[Hashable, Any]":
+        """Like :meth:`sync_epoch`, but hand the dropped old-epoch
+        entries back instead of discarding them.
+
+        The incremental refresh policy (``FlowServer(refresh=
+        "incremental")``) uses the salvage as warm-start seeds: an
+        old-epoch flow for the *same* demand digest is rescaled to the
+        new capacities and primes the solver, instead of the query
+        paying a cold start. The entries are **removed** from the cache
+        either way — a salvaged result is never served verbatim, and
+        the invalidate-exactly-once accounting is identical to
+        :meth:`sync_epoch` (one invalidation per epoch move).
+        """
+        if self._epoch == version:
+            return OrderedDict()
+        moved = self._epoch is not None
+        self._epoch = version
+        salvaged: "OrderedDict[Hashable, Any]" = OrderedDict()
+        if moved:
+            salvaged = self._entries
+            self._entries = OrderedDict()
+            self.invalidations += 1
+        return salvaged
+
     def get(self, key: Hashable) -> Any | None:
         """Return the cached value for ``key`` (refreshing its LRU
         position) or None. Counts a hit or a miss."""

@@ -67,6 +67,7 @@ from repro.errors import (
 )
 from repro.faults import fault_point
 from repro.graphs.graph import Graph
+from repro.graphs.journal import rescale_flow
 from repro.parallel.config import ParallelConfig, resolve_config
 from repro.parallel.pool import PoolStats, get_pool
 from repro.serve.cache import CacheStats, ResultCache, demand_digest
@@ -83,12 +84,20 @@ _SOLVERS = {
 
 @dataclass
 class ServerStats:
-    """Serving counters plus a snapshot of the cache stats."""
+    """Serving counters plus a snapshot of the cache stats.
+
+    ``incremental_refreshes`` counts epoch moves absorbed by the
+    journal-driven scoped refresh (``refresh="incremental"``) instead
+    of a full rebuild; ``warm_starts`` counts queries seeded from a
+    salvaged previous-epoch flow instead of starting cold.
+    """
 
     single_queries: int = 0
     batch_queries: int = 0
     batched_columns: int = 0
     rebuilds: int = 0
+    incremental_refreshes: int = 0
+    warm_starts: int = 0
     cache: CacheStats | None = None
 
 
@@ -122,6 +131,11 @@ class ServerHealth:
             absorbed failure (``None`` when the server never failed).
         shard_pool: Stats of the shard pool serving the effective
             backend (``None`` for serial / single-worker execution).
+        incremental_refreshes: Epoch moves absorbed by the
+            journal-driven scoped refresh instead of a full rebuild
+            (``refresh="incremental"`` only).
+        warm_starts: Queries seeded from a salvaged previous-epoch
+            flow instead of starting cold.
     """
 
     workspace_fallbacks: int
@@ -136,6 +150,8 @@ class ServerHealth:
     degraded: bool
     last_error: str | None
     shard_pool: PoolStats | None
+    incremental_refreshes: int = 0
+    warm_starts: int = 0
 
 
 class FlowServer:
@@ -162,12 +178,21 @@ class FlowServer:
             ``tools/bench_serving.py``). ``None`` disables chunking.
         parallel: Optional sharded-execution config for the operator
             products (results are bit-identical either way).
-        rng: Seed used to build — and, under ``refresh="rebuild"``,
-            re-build — the approximator.
+        rng: Seed used to build — and, under ``refresh="rebuild"`` /
+            ``refresh="incremental"``, re-build or re-sample — the
+            approximator.
         refresh: Mutation policy: ``"rebuild"`` (default) reconstructs
             the approximator from ``rng`` when the graph version moves;
             ``"reuse"`` keeps the stale tree structure (documented
-            approximation — live capacities, pre-mutation cuts).
+            approximation — live capacities, pre-mutation cuts);
+            ``"incremental"`` consumes the graph's epoch delta journal:
+            for capacity-only deltas the approximator's cut rows are
+            refreshed in place (journal-intersecting trees resampled),
+            salvaged same-digest cache entries become warm-start seeds
+            for their next query, and the full rebuild is reserved for
+            structural mutations or journal overflow. Warm-started
+            results satisfy the same ``(1+ε)·α`` guarantee and
+            cross-backend bit-identity as cold ones.
         deadline: Per-request wall-clock budget in seconds (``None``
             disables it). Checked cooperatively at chunk boundaries —
             an in-flight solve completes before the deadline is
@@ -192,7 +217,7 @@ class FlowServer:
         max_batch: int | None = 8,
         parallel: ParallelConfig | None = None,
         rng: np.random.Generator | int | None = 0,
-        refresh: Literal["rebuild", "reuse"] = "rebuild",
+        refresh: Literal["rebuild", "reuse", "incremental"] = "rebuild",
         deadline: float | None = None,
         breaker_threshold: int = 3,
     ) -> None:
@@ -200,9 +225,10 @@ class FlowServer:
             raise GraphError(
                 f"solver must be one of {sorted(_SOLVERS)}, got {solver!r}"
             )
-        if refresh not in ("rebuild", "reuse"):
+        if refresh not in ("rebuild", "reuse", "incremental"):
             raise GraphError(
-                f"refresh must be 'rebuild' or 'reuse', got {refresh!r}"
+                "refresh must be 'rebuild', 'reuse' or 'incremental', "
+                f"got {refresh!r}"
             )
         eps = float(epsilon)
         if not 0 < eps <= 1:
@@ -245,6 +271,14 @@ class FlowServer:
         self._batch_queries = 0
         self._batched_columns = 0
         self._rebuilds = 0
+        self._incremental_refreshes = 0
+        self._warm_starts = 0
+        # Warm-start seeds salvaged by the incremental refresh: query
+        # key -> previous-epoch flow rescaled to the live capacities.
+        # Replaced wholesale at each epoch move (so a seed is always
+        # exactly one journal delta away from the epoch it serves in)
+        # and consumed on use.
+        self._warm_seeds: dict[tuple, np.ndarray] = {}
         # Health / degradation state (see ServerHealth).
         self._effective_parallel = parallel
         self._workspace_fallbacks = 0
@@ -262,25 +296,49 @@ class FlowServer:
     def _sync(self) -> None:
         """Catch up with graph mutations before serving a query.
 
-        Drops old-epoch cached results exactly once (the cache's own
-        contract) and applies the refresh policy to the approximator
-        and workspace pool.
+        Drops (or, under ``refresh="incremental"``, salvages) old-epoch
+        cached results exactly once and applies the refresh policy to
+        the approximator and workspace pool.
         """
         version = self.graph._version
         if version == self._epoch:
             return
-        self._cache.sync_epoch(version)
         structural = self.graph.num_edges != self._edge_count
-        if self.refresh == "rebuild":
-            self.approximator = build_congestion_approximator(
-                self.graph, rng=self._rng, parallel=self.parallel
-            )
-            self._rebuilds += 1
-            self._pool.rebind(self.graph, self.approximator)
-        elif structural:
-            # Stale approximator kept by policy, but the m-shaped
-            # workspaces cannot survive an edge-count change.
-            self._pool.rebind(self.graph, self.approximator)
+        delta = None
+        if self.refresh == "incremental" and not structural:
+            # None when the journal cannot vouch for the interval
+            # (overflow, or a structural mutation re-based it): fall
+            # through to the full rebuild below.
+            delta = self.graph.deltas_since(self._epoch)
+        if delta is not None:
+            # Capacity-only delta with a sound journal: patch the
+            # operator in place, keep the pooled workspaces (their
+            # shape key is epoch-independent), and convert old-epoch
+            # cache entries into warm-start seeds instead of waste.
+            salvaged = self._cache.salvage_epoch(version)
+            if delta.num_edges:
+                self.approximator.refresh_capacities(
+                    delta.edge_ids, rng=self._rng
+                )
+            self._incremental_refreshes += 1
+            self._warm_seeds = {
+                key: rescale_flow(result.flow, delta)
+                for key, result in salvaged.items()
+                if isinstance(result, AlmostRouteResult)
+            }
+        else:
+            self._cache.sync_epoch(version)
+            self._warm_seeds = {}
+            if self.refresh in ("rebuild", "incremental"):
+                self.approximator = build_congestion_approximator(
+                    self.graph, rng=self._rng, parallel=self.parallel
+                )
+                self._rebuilds += 1
+                self._pool.rebind(self.graph, self.approximator)
+            elif structural:
+                # Stale approximator kept by policy, but the m-shaped
+                # workspaces cannot survive an edge-count change.
+                self._pool.rebind(self.graph, self.approximator)
         self._epoch = version
         self._edge_count = self.graph.num_edges
 
@@ -374,6 +432,7 @@ class FlowServer:
         self,
         plane: np.ndarray,
         workspace: BatchRouteWorkspace | None,
+        initial_flows: np.ndarray | None = None,
     ) -> BatchAlmostRouteResult:
         """Solve one miss chunk (fault site ``serve.miss``)."""
         _, batch_solver = _SOLVERS[self.solver]
@@ -385,7 +444,27 @@ class FlowServer:
             max_iterations=self.max_iterations,
             workspace=workspace,
             parallel=self._current_parallel(),
+            initial_flows=initial_flows,
         )
+
+    def _seed_plane(
+        self, idx: list[int], keys: list[tuple]
+    ) -> tuple[np.ndarray | None, list[int]]:
+        """The warm-start plane for a miss chunk, or ``None`` when no
+        column has a salvaged seed.
+
+        Unseeded columns get an all-zero row — dividing a zero seed by
+        ``kb`` reproduces the cold init bit for bit, so mixing seeded
+        and cold columns in one chunk never perturbs the cold ones.
+        """
+        rows = [self._warm_seeds.get(keys[q]) for q in idx]
+        seeded = [j for j, row in enumerate(rows) if row is not None]
+        if not seeded:
+            return None, []
+        plane = np.zeros((len(idx), self.graph.num_edges))
+        for j in seeded:
+            plane[j] = rows[j]
+        return plane, seeded
 
     # ------------------------------------------------------------------
     # Serving
@@ -409,6 +488,13 @@ class FlowServer:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
+        # Warm start: a salvaged previous-epoch flow for this exact
+        # demand digest (rescaled to the new capacities at sync time)
+        # primes the solver. Gated on use_cache because the seed is
+        # cache-derived state; popped so it is used at most once.
+        seed = self._warm_seeds.pop(key, None) if use_cache else None
+        if seed is not None:
+            self._warm_starts += 1
         single, _ = _SOLVERS[self.solver]
         deadline_at = self._deadline_at()
         while True:
@@ -423,6 +509,7 @@ class FlowServer:
                     max_iterations=self.max_iterations,
                     workspace=workspace,
                     parallel=self._current_parallel(),
+                    initial_flow=seed,
                 )
             except PoolFailureError as exc:
                 # The workspace may have been written by a failed (or
@@ -506,7 +593,9 @@ class FlowServer:
         # chunks also re-hit the same pooled batch workspace.
         for start in range(0, len(miss_idx), chunk):
             idx = miss_idx[start : start + chunk]
-            self._route_chunk(demands, idx, keys, results, deadline_at)
+            self._route_chunk(
+                demands, idx, keys, results, deadline_at, use_seeds=use_cache
+            )
         if errors == "raise":
             for item in results:
                 if isinstance(item, ServingError):
@@ -520,6 +609,7 @@ class FlowServer:
         keys: list[tuple],
         results: list[AlmostRouteResult | ServingError | None],
         deadline_at: float | None,
+        use_seeds: bool = True,
     ) -> None:
         """Serve one miss chunk, bisecting on failure.
 
@@ -531,9 +621,12 @@ class FlowServer:
         while True:
             self._check_deadline(deadline_at)
             plane = np.ascontiguousarray(demands[idx])
+            seeds, seeded = (
+                self._seed_plane(idx, keys) if use_seeds else (None, [])
+            )
             workspace = self._acquire_batch(len(idx))
             try:
-                batch = self._solve_chunk(plane, workspace)
+                batch = self._solve_chunk(plane, workspace, initial_flows=seeds)
             except PoolFailureError as exc:
                 workspace = None  # poisoned: drop, never re-pool
                 if self._note_pool_failure(exc):
@@ -564,13 +657,22 @@ class FlowServer:
                 # invisible) until the poison is isolated.
                 self._batch_splits += 1
                 mid = len(idx) // 2
-                self._route_chunk(demands, idx[:mid], keys, results, deadline_at)
-                self._route_chunk(demands, idx[mid:], keys, results, deadline_at)
+                self._route_chunk(
+                    demands, idx[:mid], keys, results, deadline_at,
+                    use_seeds=use_seeds,
+                )
+                self._route_chunk(
+                    demands, idx[mid:], keys, results, deadline_at,
+                    use_seeds=use_seeds,
+                )
                 return
             finally:
                 if workspace is not None:
                     self._pool.release_batch(workspace)
             self._consecutive_pool_failures = 0
+            for j in seeded:
+                self._warm_seeds.pop(keys[idx[j]], None)
+                self._warm_starts += 1
             for j, q in enumerate(idx):
                 result = batch.query(j)
                 self._cache.put(keys[q], result)
@@ -586,6 +688,8 @@ class FlowServer:
             batch_queries=self._batch_queries,
             batched_columns=self._batched_columns,
             rebuilds=self._rebuilds,
+            incremental_refreshes=self._incremental_refreshes,
+            warm_starts=self._warm_starts,
             cache=self._cache.stats(),
         )
 
@@ -611,6 +715,8 @@ class FlowServer:
             degraded=effective.backend != configured.backend,
             last_error=self._last_error,
             shard_pool=shard_pool,
+            incremental_refreshes=self._incremental_refreshes,
+            warm_starts=self._warm_starts,
         )
 
     def cache_stats(self) -> CacheStats:

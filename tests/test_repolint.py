@@ -233,6 +233,37 @@ def test_epoch_discipline_clean_with_invalidate():
     assert "epoch-discipline" not in rules_hit(src, "src/repro/graphs/graph.py")
 
 
+def test_epoch_discipline_flags_unjournaled_capacity_write():
+    # A bare version bump next to a capacity write satisfies the old
+    # epoch contract but leaves a step deltas_since() cannot account
+    # for: the write must route through _record_capacity_delta or
+    # _invalidate.
+    src = """
+        class Graph:
+            def scale(self, eid, factor):
+                self._cap[eid] = self._cap[eid] * factor
+                self._version += 1
+        """
+    findings = [
+        f
+        for f in lint(src, rel_path="src/repro/graphs/graph.py")
+        if f.rule == "epoch-discipline"
+    ]
+    assert len(findings) == 1
+    assert "journal" in findings[0].message
+
+
+def test_epoch_discipline_clean_capacity_write_through_journal():
+    src = """
+        class Graph:
+            def scale(self, eid, factor):
+                old = float(self._cap[eid])
+                self._cap[eid] = old * factor
+                self._record_capacity_delta(eid, old, old * factor)
+        """
+    assert "epoch-discipline" not in rules_hit(src, "src/repro/graphs/graph.py")
+
+
 # ----------------------------------------------------------------------
 # hot-path-alloc
 # ----------------------------------------------------------------------

@@ -153,7 +153,7 @@ class TestGrammar:
             "hotspot",
             "adversarial_cut",
         }
-        assert {s.failure for s in matrix} == {"none", "degrade"}
+        assert {s.failure for s in matrix} == {"none", "degrade", "restore"}
 
 
 # ----------------------------------------------------------------------

@@ -30,7 +30,10 @@ When a checked-in ``BENCH_serving.json`` exists (written by
 ``tools/bench_serving.py``), the gate also enforces that its recorded
 ``batch_q64_speedup`` — batched serving throughput vs sequential
 one-shot routing — has not been committed below ``--serving-floor``
-(default 2.0; the acceptance run records ≥3×).
+(default 2.0; the acceptance run records ≥3×), and that the recorded
+``update_latency_speedup`` — first-re-route latency after a ~1%
+capacity delta under ``refresh="rebuild"`` vs ``refresh="incremental"``
+— has not been committed below ``--update-floor`` (default 1.5).
 
 Run from the repository root with ``src`` importable::
 
@@ -88,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="minimum recorded batch_q64_speedup in the serving "
         "baseline (guards against committing a degraded serving run)",
+    )
+    parser.add_argument(
+        "--update-floor",
+        type=float,
+        default=1.5,
+        help="minimum recorded update_latency_speedup (incremental vs "
+        "rebuild refresh) in the serving baseline",
     )
     parser.add_argument(
         "--scenarios-baseline",
@@ -192,6 +202,23 @@ def main(argv: list[str] | None = None) -> int:
             )
             if speedup < args.serving_floor:
                 failures.append("serving_batch_q64_speedup")
+        update = serving.get(
+            "update_latency_incremental_vs_rebuild", {}
+        ).get("update_latency_speedup")
+        if update is None:
+            print(
+                f"SKIP update-latency floor: no update_latency_speedup "
+                f"in {args.serving_baseline.name} "
+                f"(profile={serving.get('profile')!r})"
+            )
+        else:
+            status = "FAIL" if update < args.update_floor else "ok"
+            print(
+                f"{status:>4} serving update_latency_speedup: recorded="
+                f"{update:.2f}x (floor {args.update_floor:.1f}x)"
+            )
+            if update < args.update_floor:
+                failures.append("serving_update_latency_speedup")
     else:
         print(f"SKIP serving floor: {args.serving_baseline.name} not found")
 

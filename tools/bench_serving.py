@@ -19,11 +19,18 @@ service is measured, in the standup → run → analysis → report shape:
      fixed in advance so queueing delay is charged to latency) over a
      mixed stream of single and batched queries with a popular-query
      repeat fraction that exercises the result cache.
+   * *update latency*: repeated small capacity deltas (~1% of edges)
+     against two identically-built servers, one ``refresh="rebuild"``
+     and one ``refresh="incremental"``; the measured quantity is the
+     latency of the first re-route after each mutation — full
+     approximator rebuild + cold solve vs journal-scoped refresh +
+     warm-started solve.
 3. **Analysis** — p50/p95/p99/mean latency, throughput, speedups,
    cache counters.
 4. **Report** — written to ``--out`` (default ``BENCH_serving.json``),
-   consumed by ``tools/bench_regression.py`` (which enforces a floor on
-   ``batch_q64_speedup``).
+   consumed by ``tools/bench_regression.py`` (which enforces floors on
+   ``batch_q64_speedup`` and the incremental-vs-rebuild update
+   speedup).
 
 Run from the repository root::
 
@@ -69,6 +76,17 @@ LOAD_PROFILES = {
     "full": (256, 0.05, 300, 0.25),
     "quick": (256, 0.05, 60, 0.25),
 }
+#: (n, edge probability, update cycles, epsilon) of the update-latency
+#: experiment. Each cycle degrades ~UPDATE_FRACTION of the edges and
+#: measures the first re-route on each refresh policy.
+UPDATE_PROFILES = {
+    "full": (512, 0.025, 5, 0.25),
+    "quick": (192, 0.06, 3, 0.25),
+}
+#: Fraction of edges each update cycle touches (the "small delta"
+#: regime the incremental policy targets) and the capacity multiplier.
+UPDATE_FRACTION = 0.01
+UPDATE_FACTOR = 0.9
 #: Offered load as a fraction of measured single-query capacity.
 OFFERED_LOAD = 0.7
 #: Request mix: fraction of batch requests, columns per batch request,
@@ -254,6 +272,68 @@ def run_sustained_load(profile: str) -> dict:
     }
 
 
+def run_update_latency(profile: str) -> dict:
+    """First-re-route latency after a small capacity delta:
+    ``refresh="rebuild"`` vs ``refresh="incremental"``.
+
+    Two servers are built over identically-seeded graphs and warmed on
+    the same demand. Each cycle applies the same ~1% capacity
+    degradation to both graphs and times the next ``route`` call for
+    the same demand — which pays the policy's full sync cost (cold
+    approximator rebuild vs journal-scoped refresh + warm start) plus
+    the solve. The speedup row is the gated acceptance metric.
+    """
+    n, p, cycles, epsilon = UPDATE_PROFILES[profile]
+    print(f"[standup] update-latency servers: two n={n} graphs ...")
+    servers = {}
+    for policy in ("rebuild", "incremental"):
+        graph = random_connected(n, p, rng=GRAPH_SEED + 2)
+        servers[policy] = FlowServer(
+            graph,
+            epsilon=epsilon,
+            solver="accelerated",
+            rng=BUILD_SEED + 2,
+            refresh=policy,
+        )
+    rng = np.random.default_rng(DEMAND_SEED + 2)
+    demand = _demand_plane(n, 1, rng)[0]
+    for server in servers.values():
+        server.route(demand)  # warm: build + populate the cache
+
+    num_edges = servers["rebuild"].graph.num_edges
+    touched = max(1, int(num_edges * UPDATE_FRACTION))
+    print(f"[run] {cycles} update cycles, {touched} edges each ...")
+    latencies: dict[str, list[float]] = {name: [] for name in servers}
+    for _ in range(cycles):
+        edges = rng.choice(num_edges, size=touched, replace=False)
+        for name, server in servers.items():
+            for eid in edges.tolist():
+                server.graph.set_capacity(
+                    int(eid), server.graph.capacity(int(eid)) * UPDATE_FACTOR
+                )
+            t0 = time.perf_counter()
+            server.route(demand)
+            latencies[name].append(time.perf_counter() - t0)
+
+    stats = servers["incremental"].stats()
+    rebuild_s = float(np.median(latencies["rebuild"]))
+    incremental_s = float(np.median(latencies["incremental"]))
+    return {
+        "n": n,
+        "num_edges": num_edges,
+        "cycles": cycles,
+        "edges_touched_per_cycle": touched,
+        "update_fraction": UPDATE_FRACTION,
+        "epsilon": epsilon,
+        "solver": "accelerated",
+        "rebuild_update_s_median": round(rebuild_s, 4),
+        "incremental_update_s_median": round(incremental_s, 4),
+        "update_latency_speedup": round(rebuild_s / incremental_s, 2),
+        "incremental_refreshes": stats.incremental_refreshes,
+        "warm_starts": stats.warm_starts,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -273,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
 
     throughput = run_batch_throughput(profile)
     load = run_sustained_load(profile)
+    update = run_update_latency(profile)
 
     report = {
         "description": (
@@ -287,11 +368,18 @@ def main(argv: list[str] | None = None) -> int:
             "latency = finish - arrival on a virtual clock driven by "
             "real service times, so queueing delay is included. "
             "All served results are bit-identical per column to the "
-            "corresponding one-shot solver calls."
+            "corresponding one-shot solver calls. "
+            "update_latency_incremental_vs_rebuild: first-re-route "
+            "latency after repeated ~1% capacity deltas — full "
+            "approximator rebuild + cold solve (refresh='rebuild') vs "
+            "journal-scoped refresh + warm-started solve "
+            "(refresh='incremental'); update_latency_speedup = "
+            "rebuild_median / incremental_median."
         ),
         "profile": profile,
         "throughput": throughput,
         "sustained_load": load,
+        "update_latency_incremental_vs_rebuild": update,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -301,7 +389,9 @@ def main(argv: list[str] | None = None) -> int:
         f"[report] wrote {args.out.name}: batch_q{q}_speedup={speedup}x, "
         f"load p50={load['latency_ms']['p50']}ms "
         f"p99={load['latency_ms']['p99']}ms "
-        f"throughput={load['throughput_qps']} q/s"
+        f"throughput={load['throughput_qps']} q/s, "
+        f"update_latency_speedup={update['update_latency_speedup']}x "
+        f"({update['warm_starts']} warm starts)"
     )
     return 0
 

@@ -435,18 +435,26 @@ class EpochDiscipline(Rule):
     — the wrong-but-plausible-flow failure mode. The check is
     lexical: a mutating method must contain a bump, and no ``return``
     may sit between the first mutation and the first bump.
+
+    PR 10 tightened the capacity side: ``deltas_since`` vouches for
+    every version step in its window, so a ``_cap`` write must also
+    *journal* — route through ``self._record_capacity_delta(...)`` or
+    ``self._invalidate()`` (which marks the journal structural). A
+    bare ``self._version += 1`` next to a capacity write would leave
+    an unaccounted step the journal then wrongly vouches across.
     """
 
     name = "epoch-discipline"
     description = (
         "Graph method mutates edge/capacity buffers without "
-        "_invalidate()/_version bump on every exit path"
+        "_invalidate()/_version bump on every exit path, or writes "
+        "the capacity buffer without journaling the delta"
     )
     paths = (f"{SRC}/graphs",)
 
     _CLASS = "Graph"
     _BUFFERS = {"_eu", "_ev", "_cap"}
-    _EXEMPT = {"__init__"}
+    _EXEMPT = {"__init__", "_record_capacity_delta"}
 
     def _self_attr(self, node: ast.AST) -> str | None:
         target = node
@@ -472,7 +480,9 @@ class EpochDiscipline(Rule):
                 if func.name in self._EXEMPT:
                     continue
                 mutations: list[ast.stmt] = []
+                cap_mutations: list[ast.stmt] = []
                 bumps: list[ast.stmt] = []
+                journal_bumps: list[ast.stmt] = []
                 returns: list[ast.Return] = []
                 for node in ast.walk(func):
                     if isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -485,6 +495,8 @@ class EpochDiscipline(Rule):
                             attr = self._self_attr(target)
                             if attr in self._BUFFERS:
                                 mutations.append(node)
+                                if attr == "_cap":
+                                    cap_mutations.append(node)
                             elif attr == "_version":
                                 bumps.append(node)
                     elif isinstance(node, ast.Expr) and isinstance(
@@ -494,14 +506,28 @@ class EpochDiscipline(Rule):
                         if dotted in (
                             "self._invalidate",
                             "self._adopt_arrays",
+                            "self._record_capacity_delta",
                         ):
                             # _adopt_arrays invalidates on behalf of
-                            # its caller (it is itself checked).
+                            # its caller (it is itself checked);
+                            # _record_capacity_delta bumps and journals
+                            # a capacity-only write.
                             bumps.append(node)
+                            journal_bumps.append(node)
                     elif isinstance(node, ast.Return):
                         returns.append(node)
                 if not mutations:
                     continue
+                if cap_mutations and not journal_bumps:
+                    yield self.finding(
+                        ctx,
+                        cap_mutations[0],
+                        f"{cls.name}.{func.name} writes the capacity "
+                        "buffer without journaling the delta: route the "
+                        "write through _record_capacity_delta() or "
+                        "_invalidate(), or deltas_since() vouches for "
+                        "an interval it cannot account for",
+                    )
                 if not bumps:
                     yield self.finding(
                         ctx,
